@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Ablation study of AERO's three design ingredients (DESIGN.md calls for
+ * this; the paper motivates each in section 4 but only evaluates the
+ * CONS/full pair):
+ *
+ *   FELP only          - multi-loop prediction, no shallow probe, no
+ *                        margin spending (AERO-CONS without shallow)
+ *   + shallow erasure  - AERO-CONS as evaluated in the paper
+ *   + ECC margin       - full AERO
+ *
+ * plus the multi-plane composition of section 6: how much of AERO's
+ * latency benefit survives when 4 blocks erase in lock-step and the worst
+ * block gates the operation.
+ */
+
+#include "bench_util.hh"
+#include "core/aero_scheme.hh"
+#include "erase/baseline_ispe.hh"
+#include "erase/multi_plane.hh"
+#include "nand/population.hh"
+
+using namespace aero;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    bool shallow;
+    bool margin;
+};
+
+void
+runSinglePlane()
+{
+    const Variant variants[] = {
+        {"FELP only", false, false},
+        {"+ shallow erasure", true, false},
+        {"+ ECC margin (AERO)", true, true},
+    };
+    std::printf("per-erase latency / damage vs Baseline, 300 P/E cycles\n");
+    bench::rule();
+    std::printf("%-22s", "variant");
+    for (const double pec : {500.0, 2500.0})
+        std::printf(" | PEC %4.0f: lat    dmg", pec);
+    std::printf("\n");
+    bench::rule();
+    for (const auto &v : variants) {
+        std::printf("%-22s", v.name);
+        for (const double pec : {500.0, 2500.0}) {
+            NandChip base_chip(ChipParams::tlc3d(),
+                               ChipGeometry{1, 24, 8}, 99);
+            NandChip aero_chip(ChipParams::tlc3d(),
+                               ChipGeometry{1, 24, 8}, 99);
+            for (int b = 0; b < base_chip.numBlocks(); ++b) {
+                base_chip.ageBaseline(b, static_cast<int>(pec));
+                aero_chip.ageBaseline(b, static_cast<int>(pec));
+            }
+            BaselineIspe base(base_chip, SchemeOptions{});
+            SchemeOptions opts;
+            opts.shallowErasure = v.shallow;
+            AeroScheme aero(aero_chip, opts, v.margin,
+                            Ept::canonical(aero_chip.params()));
+            double lat_b = 0, lat_a = 0, dmg_b = 0, dmg_a = 0;
+            for (int round = 0; round < 300; ++round) {
+                for (int b = 0; b < base_chip.numBlocks(); ++b) {
+                    const auto ob =
+                        eraseNow(base, static_cast<BlockId>(b));
+                    const auto oa =
+                        eraseNow(aero, static_cast<BlockId>(b));
+                    lat_b += ticksToMs(ob.latency);
+                    lat_a += ticksToMs(oa.latency);
+                    dmg_b += ob.damage;
+                    dmg_a += oa.damage;
+                }
+            }
+            std::printf(" | %12.2f %6.2f", lat_a / lat_b, dmg_a / dmg_b);
+        }
+        std::printf("\n");
+    }
+    bench::rule();
+}
+
+void
+runMultiPlane()
+{
+    std::printf("\nmulti-plane composition (4 blocks in lock-step, "
+                "PEC 2500)\n");
+    bench::rule();
+    std::printf("%-10s | %12s | %12s | %10s\n", "scheme",
+                "joint [ms]", "serial [ms]", "dmg ratio");
+    for (const auto kind : {SchemeKind::Baseline, SchemeKind::Aero}) {
+        NandChip chip(ChipParams::tlc3d(), ChipGeometry{4, 16, 8}, 7);
+        for (int b = 0; b < chip.numBlocks(); ++b)
+            chip.ageBaseline(b, 2500);
+        auto scheme = makeEraseScheme(kind, chip, SchemeOptions{});
+        double joint_ms = 0, serial_ms = 0, dmg = 0;
+        int ops = 0;
+        for (int round = 0; round < 8; ++round) {
+            for (int group = 0; group < 16; ++group) {
+                std::vector<BlockId> blocks;
+                for (int pl = 0; pl < 4; ++pl)
+                    blocks.push_back(
+                        static_cast<BlockId>(pl * 16 + group));
+                const auto out =
+                    MultiPlaneErase::eraseNow(*scheme, blocks);
+                joint_ms += ticksToMs(out.latency);
+                serial_ms += ticksToMs(out.serialLatency);
+                dmg += out.totalDamage;
+                ops += 1;
+            }
+        }
+        static double base_dmg = 0.0;
+        if (kind == SchemeKind::Baseline)
+            base_dmg = dmg;
+        std::printf("%-10s | %12.2f | %12.2f | %10.2f\n",
+                    schemeKindName(kind), joint_ms / ops,
+                    serial_ms / ops,
+                    base_dmg > 0 ? dmg / base_dmg : 1.0);
+    }
+    bench::rule();
+    bench::note("paper section 6: the worst block gates joint latency, "
+                "but inhibition preserves AERO's full damage benefit");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: AERO's ingredients and multi-plane erase");
+    runSinglePlane();
+    runMultiPlane();
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared formatting helpers for the figure/table reproduction binaries.
+ * Each bench prints the rows/series of one table or figure of the paper,
+ * side by side with the paper's reference numbers where applicable.
+ */
+
+#ifndef AERO_BENCH_BENCH_UTIL_HH
+#define AERO_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+namespace aero::bench
+{
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void
+rule()
+{
+    std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("  [%s]\n", text.c_str());
+}
+
+} // namespace aero::bench
+
+#endif // AERO_BENCH_BENCH_UTIL_HH

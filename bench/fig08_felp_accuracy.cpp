@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Fig. 8: the probability that a block needs mtEP(N_ISPE) = y
+ * given that F(N_ISPE - 1) fell in fail-bit range x, plus the fraction of
+ * blocks per range. The paper's headline: a majority (>= 66%) of blocks
+ * in the same range need the same final-loop latency, making the fail-bit
+ * count an accurate mtEP predictor.
+ */
+
+#include "bench_util.hh"
+#include "devchar/experiments.hh"
+
+using namespace aero;
+
+int
+main()
+{
+    bench::header("Figure 8: mtEP(N_ISPE) probability by fail-bit range");
+    FarmConfig fc;
+    fc.numChips = 28;
+    fc.blocksPerChip = 24;
+    const auto data = runFig8Experiment(
+        fc, {2000, 2500, 3000, 3500, 4000, 4500, 5200});
+    for (const auto &row : data.rows) {
+        std::printf("\nN_ISPE = %d (%d samples)\n", row.nIspe,
+                    row.samples);
+        bench::rule();
+        std::printf("%6s | %8s | %5s | P(mtEP = 0.5..3.5 ms)\n", "range",
+                    "blocks%", "modal");
+        for (int rg = 0; rg < 9; ++rg) {
+            if (row.rangeFraction[rg] < 0.005)
+                continue;
+            std::printf("%6s | %7.1f%% | %4.0f%% |",
+                        Ept::rangeLabel(rg).c_str(),
+                        100.0 * row.rangeFraction[rg],
+                        100.0 * row.modalProb[rg]);
+            for (int s = 0; s < 7; ++s)
+                std::printf(" %4.0f%%", 100.0 * row.mtepProb[rg][s]);
+            std::printf("\n");
+        }
+    }
+    bench::rule();
+    bench::note("paper: majority (>=66%) of blocks per range share one "
+                "mtEP; ranges are occupied fairly evenly");
+    return 0;
+}

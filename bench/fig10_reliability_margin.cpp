@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Fig. 10: max RBER (1-yr retention) after complete vs
+ * insufficient erasure, against the ECC capability (72) and RBER
+ * requirement (63). The derived safety conditions are the paper's
+ * [C1]: N_ISPE <= 3 and F(N-1) < delta, and [C2]: N = 4 and F(3) < gamma.
+ */
+
+#include "bench_util.hh"
+#include "devchar/experiments.hh"
+
+using namespace aero;
+
+int
+main()
+{
+    bench::header("Figure 10: reliability margin vs erase status");
+    FarmConfig fc;
+    fc.numChips = 24;
+    fc.blocksPerChip = 24;
+    const auto data = runFig10Experiment(
+        fc, {500, 1500, 2500, 3500, 4500});
+    std::printf("ECC capability %d, RBER requirement %d (per 1 KiB)\n",
+                data.eccCapability, data.rberRequirement);
+
+    std::printf("\n(a) completely erased blocks\n");
+    bench::rule();
+    std::printf("%7s | %9s | %8s | %8s\n", "N_ISPE", "max MRBER",
+                "margin", "samples");
+    for (const auto &row : data.complete) {
+        std::printf("%7d | %9.1f | %8.1f | %8d\n", row.nIspe,
+                    row.maxMrber, row.margin, row.samples);
+    }
+    bench::note("paper: margin up to 47 bits at N=1, shrinking with N");
+
+    std::printf("\n(b) insufficiently erased blocks "
+                "(final loop skipped)\n");
+    bench::rule();
+    std::printf("%7s | %6s | %9s | %5s | %8s\n", "N_ISPE", "range",
+                "max MRBER", "safe", "samples");
+    for (const auto &row : data.insufficient) {
+        if (row.samples < 3)
+            continue;
+        std::printf("%7d | %6s | %9.1f | %5s | %8d\n", row.nIspe,
+                    Ept::rangeLabel(row.range).c_str(), row.maxMrber,
+                    row.safe ? "yes" : "NO", row.samples);
+    }
+    bench::rule();
+    bench::note("paper conditions: [C1] N<=3 & F<d safe; "
+                "[C2] N=4 & F<g safe; nothing at N=5");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Fig. 13: average max-RBER vs P/E cycles for the five erase
+ * schemes, and the lifetimes where each crosses the 63-bit requirement.
+ *
+ * Paper reference: Baseline 5.3K; i-ISPE -25%; DPES +26%; AERO-CONS
+ * +30%; AERO +43%. AERO starts high (M_RBER(0) = 46) but grows slowly.
+ */
+
+#include "bench_util.hh"
+#include "devchar/lifetime.hh"
+
+using namespace aero;
+
+int
+main()
+{
+    bench::header("Figure 13: SSD lifetime and reliability comparison");
+    LifetimeConfig cfg;
+    cfg.farm.numChips = 16;
+    cfg.farm.blocksPerChip = 24;
+    cfg.checkpointEvery = 250;
+    LifetimeTester tester(cfg);
+    const auto results = tester.runAll();
+
+    const double base_life = results.front().lifetimePec;
+    bench::rule();
+    std::printf("%-10s | %9s | %8s | %10s | %9s | %8s\n", "scheme",
+                "lifetime", "vs base", "fresh RBER", "avg tBERS",
+                "avgLoops");
+    bench::rule();
+    const double paper_delta[] = {0.0, -25.0, 26.0, 30.0, 43.0};
+    int idx = 0;
+    for (const auto &r : results) {
+        std::printf("%-10s | %9.0f | %+7.1f%% | %10.1f | %7.2fms | %8.2f"
+                    "   (paper: %+.0f%%)\n",
+                    schemeKindName(r.scheme), r.lifetimePec,
+                    100.0 * (r.lifetimePec - base_life) / base_life,
+                    r.freshMrber, r.avgEraseLatencyMs, r.avgLoops,
+                    paper_delta[idx++]);
+    }
+    bench::rule();
+
+    std::printf("\naverage M_RBER vs PEC (the figure's curves)\n");
+    std::printf("%6s", "PEC");
+    for (const auto &r : results)
+        std::printf(" | %9s", schemeKindName(r.scheme));
+    std::printf("\n");
+    for (std::size_t i = 3; i < results[4].curve.size(); i += 4) {
+        const double pec = results[4].curve[i].first;
+        std::printf("%6.0f", pec);
+        for (const auto &r : results) {
+            if (i < r.curve.size())
+                std::printf(" | %9.1f", r.curve[i].second);
+            else
+                std::printf(" | %9s", "eol");
+        }
+        std::printf("\n");
+    }
+    bench::note("requirement = 63 raw bit errors per 1 KiB");
+    return 0;
+}

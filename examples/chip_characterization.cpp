@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Characterization scenario: the workflow an SSD vendor would run to
+ * deploy AERO on a new NAND generation (the paper's section 5 / 6
+ * methodology), exercised end to end on the virtual chip farm:
+ *
+ *   1. probe one block with m-ISPE and print its fail-bit trajectory;
+ *   2. run the characterization campaign and derive the chip's
+ *      gamma/delta constants;
+ *   3. build the erase-timing parameter table (EPT) from the campaign;
+ *   4. sanity-check AERO with the derived table against Baseline.
+ */
+
+#include <cstdio>
+
+#include "core/aero_scheme.hh"
+#include "core/ept_builder.hh"
+#include "devchar/experiments.hh"
+#include "erase/baseline_ispe.hh"
+
+using namespace aero;
+
+int
+main()
+{
+    // 1. One block's m-ISPE trajectory (what GET FEATURE would return).
+    PopulationConfig pc;
+    pc.numChips = 12;
+    pc.geometry = ChipGeometry{1, 24, 16};
+    pc.seed = 777;
+    ChipPopulation pop(pc);
+    {
+        NandChip &chip = pop.chip(0);
+        chip.ageBaseline(0, 2500);
+        const auto m = measureMIspe(chip, 0);
+        std::printf("block 0 at 2.5K PEC: N_ISPE=%d, mtEP=%.1f ms, "
+                    "mtBERS=%.1f ms\n",
+                    m.nIspe, 0.5 * m.finalLoopSlots, m.mtBersMs);
+        std::printf("fail-bit trajectory (per 0.5 ms pulse): ");
+        for (const double f : m.failAfterSlot)
+            std::printf("%.0f ", f);
+        std::printf("\n\n");
+    }
+
+    // 2. Fail-bit constants from the Fig. 7 style campaign.
+    FarmConfig fc;
+    fc.numChips = 12;
+    fc.blocksPerChip = 20;
+    fc.seed = 778;
+    const auto fig7 = runFig7Experiment(fc, {1500, 2500, 3500});
+    std::printf("derived constants: gamma=%.0f delta=%.0f\n\n",
+                fig7.gammaEstimate, fig7.deltaEstimate);
+
+    // 3. EPT from the full characterization campaign.
+    EptBuilderConfig bcfg;
+    bcfg.blocksPerChip = 16;
+    EptBuilder builder(pop, bcfg);
+    const Ept ept = builder.build();
+    std::printf("%s\n", ept.toString(pop.params()).c_str());
+
+    // 4. Deploy: AERO with the derived table vs Baseline on fresh chips.
+    PopulationConfig vc = pc;
+    vc.seed = 779;
+    ChipPopulation verify_a(vc), verify_b(vc);
+    NandChip &chip_base = verify_a.chip(0);
+    NandChip &chip_aero = verify_b.chip(0);
+    BaselineIspe base(chip_base, SchemeOptions{});
+    AeroScheme aero(chip_aero, SchemeOptions{}, true, ept);
+    double lat_base = 0.0, lat_aero = 0.0;
+    double dmg_base = 0.0, dmg_aero = 0.0;
+    for (int round = 0; round < 50; ++round) {
+        for (int b = 0; b < chip_base.numBlocks(); ++b) {
+            const auto ob = eraseNow(base, static_cast<BlockId>(b));
+            const auto oa = eraseNow(aero, static_cast<BlockId>(b));
+            lat_base += ticksToMs(ob.latency);
+            lat_aero += ticksToMs(oa.latency);
+            dmg_base += ob.damage;
+            dmg_aero += oa.damage;
+        }
+    }
+    std::printf("50 P/E cycles on %d fresh blocks:\n",
+                chip_base.numBlocks());
+    std::printf("  avg erase latency: Baseline %.2f ms, AERO %.2f ms "
+                "(%.0f%% shorter)\n",
+                lat_base / (50.0 * chip_base.numBlocks()),
+                lat_aero / (50.0 * chip_base.numBlocks()),
+                100.0 * (1.0 - lat_aero / lat_base));
+    std::printf("  erase-induced stress: AERO at %.0f%% of Baseline\n",
+                100.0 * dmg_aero / dmg_base);
+    std::printf("  shallow probes: %llu, margin-spending erases: %llu\n",
+                static_cast<unsigned long long>(
+                    aero.stats().shallowProbes),
+                static_cast<unsigned long long>(
+                    aero.stats().incompleteAccepts));
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Piecewise-linear curves with monotone inversion.
+ *
+ * Used for (a) PEC -> mean-erase-requirement anchor curves and (b) the
+ * cumulative Baseline-stress curve whose inverse maps accumulated wear to
+ * "equivalent PEC" (DESIGN.md section 5).
+ */
+
+#ifndef AERO_COMMON_INTERP_HH
+#define AERO_COMMON_INTERP_HH
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+/**
+ * A piecewise-linear function defined by (x, y) knots with strictly
+ * increasing x. Evaluation outside the knot range extrapolates linearly
+ * from the closest segment, so wear curves keep growing past the last
+ * calibrated anchor.
+ */
+class PiecewiseLinear
+{
+  public:
+    PiecewiseLinear() = default;
+
+    explicit PiecewiseLinear(std::vector<std::pair<double, double>> knots_)
+        : knots(std::move(knots_))
+    {
+        AERO_CHECK(knots.size() >= 2, "need at least two knots");
+        for (std::size_t i = 1; i < knots.size(); ++i) {
+            AERO_CHECK(knots[i].first > knots[i - 1].first,
+                       "knot x values must be strictly increasing");
+        }
+    }
+
+    bool empty() const { return knots.empty(); }
+
+    /** Evaluate the function at x (linear extrapolation outside range). */
+    double
+    operator()(double x) const
+    {
+        AERO_CHECK(!knots.empty(), "evaluating empty curve");
+        const auto seg = segmentFor(x);
+        const auto &[x0, y0] = knots[seg];
+        const auto &[x1, y1] = knots[seg + 1];
+        const double t = (x - x0) / (x1 - x0);
+        return y0 + t * (y1 - y0);
+    }
+
+    /**
+     * Invert a monotonically non-decreasing curve: find x with f(x) = y.
+     * Flat segments resolve to their left edge. Extrapolates beyond the
+     * calibrated range using the final segment's slope.
+     */
+    double
+    inverse(double y) const
+    {
+        AERO_CHECK(!knots.empty(), "inverting empty curve");
+        // Find first knot with y-value >= y.
+        std::size_t hi = 0;
+        while (hi < knots.size() && knots[hi].second < y)
+            ++hi;
+        if (hi == 0) {
+            // Below range: extrapolate with first segment.
+            return invertSegment(0, y);
+        }
+        if (hi == knots.size()) {
+            // Above range: extrapolate with last segment.
+            return invertSegment(knots.size() - 2, y);
+        }
+        return invertSegment(hi - 1, y);
+    }
+
+    const std::vector<std::pair<double, double>> &points() const
+    {
+        return knots;
+    }
+
+  private:
+    std::size_t
+    segmentFor(double x) const
+    {
+        if (x <= knots.front().first)
+            return 0;
+        if (x >= knots.back().first)
+            return knots.size() - 2;
+        const auto it = std::upper_bound(
+            knots.begin(), knots.end(), x,
+            [](double v, const auto &k) { return v < k.first; });
+        return static_cast<std::size_t>(it - knots.begin()) - 1;
+    }
+
+    double
+    invertSegment(std::size_t seg, double y) const
+    {
+        const auto &[x0, y0] = knots[seg];
+        const auto &[x1, y1] = knots[seg + 1];
+        if (y1 == y0)
+            return x0;
+        const double t = (y - y0) / (y1 - y0);
+        return x0 + t * (x1 - x0);
+    }
+
+    std::vector<std::pair<double, double>> knots;
+};
+
+} // namespace aero
+
+#endif // AERO_COMMON_INTERP_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * gem5-style status / error reporting helpers.
+ *
+ * panic()  -- internal invariant violated (a bug in this library); aborts.
+ * fatal()  -- the caller/user supplied an impossible configuration; exits.
+ * warn()   -- something is suspicious but the run can continue.
+ * inform() -- plain status output.
+ */
+
+#ifndef AERO_COMMON_LOGGING_HH
+#define AERO_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace aero
+{
+
+/** Terminate with an internal-error message (calls std::abort). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a user-error message (calls std::exit(1)). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Print a status message to stderr. */
+void informImpl(const std::string &msg);
+
+namespace detail
+{
+
+/** Stream-concatenate a variadic argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace aero
+
+#define AERO_PANIC(...) \
+    ::aero::panicImpl(__FILE__, __LINE__, ::aero::detail::concat(__VA_ARGS__))
+
+#define AERO_FATAL(...) \
+    ::aero::fatalImpl(__FILE__, __LINE__, ::aero::detail::concat(__VA_ARGS__))
+
+#define AERO_WARN(...) \
+    ::aero::warnImpl(__FILE__, __LINE__, ::aero::detail::concat(__VA_ARGS__))
+
+#define AERO_INFORM(...) \
+    ::aero::informImpl(::aero::detail::concat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds. */
+#define AERO_CHECK(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            AERO_PANIC("check failed: " #cond " ",                        \
+                       ::aero::detail::concat(__VA_ARGS__));              \
+        }                                                                 \
+    } while (0)
+
+#endif // AERO_COMMON_LOGGING_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small numeric helpers: inverse normal CDF (Acklam's rational
+ * approximation, |error| < 1.15e-9) and quantile-midpoint quadrature for
+ * expectations over a standard normal variable.
+ */
+
+#ifndef AERO_COMMON_MATHUTIL_HH
+#define AERO_COMMON_MATHUTIL_HH
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+/** Inverse CDF of the standard normal distribution, p in (0, 1). */
+inline double
+inverseNormalCdf(double p)
+{
+    AERO_CHECK(p > 0.0 && p < 1.0, "inverseNormalCdf domain: ", p);
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    const double phigh = 1.0 - plow;
+    double q, r;
+    if (p < plow) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                    q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > phigh) {
+        q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                     q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+}
+
+/**
+ * z-scores at the midpoints of `n` equal-probability slices of N(0, 1) --
+ * an equal-weight quadrature rule for E[f(Z)].
+ */
+inline std::vector<double>
+normalQuadratureNodes(int n)
+{
+    AERO_CHECK(n > 0, "need at least one node");
+    std::vector<double> zs;
+    zs.reserve(n);
+    for (int k = 0; k < n; ++k) {
+        const double p = (static_cast<double>(k) + 0.5) /
+                         static_cast<double>(n);
+        zs.push_back(inverseNormalCdf(p));
+    }
+    return zs;
+}
+
+} // namespace aero
+
+#endif // AERO_COMMON_MATHUTIL_HH

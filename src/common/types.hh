@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fundamental types and units shared by every AERO subsystem.
+ *
+ * All simulated time is kept in integer nanoseconds (Tick) to avoid
+ * floating-point drift in the event-driven simulator; the erase-physics
+ * layer additionally reasons in "slots" of 0.5 ms (see nand/chip_params.hh).
+ */
+
+#ifndef AERO_COMMON_TYPES_HH
+#define AERO_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace aero
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed time difference in nanoseconds. */
+using TickDelta = std::int64_t;
+
+/** Time unit helpers. */
+constexpr Tick kNs = 1;
+constexpr Tick kUs = 1000 * kNs;
+constexpr Tick kMs = 1000 * kUs;
+constexpr Tick kSec = 1000 * kMs;
+
+/** Sentinel for "no time" / "never". */
+constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Convert a Tick count to fractional milliseconds / microseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMs);
+}
+
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kUs);
+}
+
+/** Convert fractional milliseconds to Ticks (rounds to nearest ns). */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kMs) + 0.5);
+}
+
+/** Logical / physical page numbers and block ids. */
+using Lpn = std::uint64_t;
+using Ppn = std::uint64_t;
+using BlockId = std::uint32_t;
+
+constexpr Lpn kInvalidLpn = std::numeric_limits<Lpn>::max();
+constexpr Ppn kInvalidPpn = std::numeric_limits<Ppn>::max();
+constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+
+/** Byte-size helpers. */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+} // namespace aero
+
+#endif // AERO_COMMON_TYPES_HH

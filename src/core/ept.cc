@@ -1,0 +1,139 @@
+#include "core/ept.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+Ept::Ept()
+{
+    // Default-construct to the no-reduction table: every cell the full
+    // default pulse.
+    for (auto &row : cons)
+        row.fill(7);
+    for (auto &row : aggr)
+        row.fill(7);
+}
+
+int
+Ept::rangeIndex(const ChipParams &params, double fail_bits)
+{
+    if (fail_bits <= params.gamma)
+        return 0;
+    for (int k = 1; k <= 7; ++k) {
+        if (fail_bits <= params.gamma +
+                         static_cast<double>(k) * params.delta) {
+            return k;
+        }
+    }
+    return 8;
+}
+
+std::string
+Ept::rangeLabel(int range)
+{
+    AERO_CHECK(range >= 0 && range < kRanges, "bad range index");
+    if (range == 0)
+        return "<=g";
+    if (range == 8)
+        return ">7d";
+    return "<=" + std::to_string(range) + "d";
+}
+
+int
+Ept::clampRow(int loop_row)
+{
+    AERO_CHECK(loop_row >= 1, "loop rows are 1-based");
+    return loop_row > kRows ? kRows : loop_row;
+}
+
+int
+Ept::consSlots(int loop_row, int range) const
+{
+    AERO_CHECK(range >= 0 && range < kRanges, "bad range index");
+    return cons[clampRow(loop_row) - 1][range];
+}
+
+int
+Ept::aggrSlots(int loop_row, int range) const
+{
+    AERO_CHECK(range >= 0 && range < kRanges, "bad range index");
+    return aggr[clampRow(loop_row) - 1][range];
+}
+
+void
+Ept::setCons(int loop_row, int range, int slots)
+{
+    AERO_CHECK(range >= 0 && range < kRanges, "bad range index");
+    AERO_CHECK(slots >= 0 && slots <= 7, "slots out of range");
+    cons[clampRow(loop_row) - 1][range] = slots;
+}
+
+void
+Ept::setAggr(int loop_row, int range, int slots)
+{
+    AERO_CHECK(range >= 0 && range < kRanges, "bad range index");
+    AERO_CHECK(slots >= 0 && slots <= 7, "slots out of range");
+    aggr[clampRow(loop_row) - 1][range] = slots;
+}
+
+Ept
+Ept::canonical(const ChipParams &params)
+{
+    (void)params;  // Table 1 is normalized in gamma/delta units already.
+    Ept t;
+    // Values in 0.5-ms slots, transcribed from the paper's Table 1
+    // ("t1 / t2", columns <=g, <=d, <=2d, ... <=7d; the >7d column is the
+    // F_HIGH no-reduction case). Under the Fig. 7 fail-bit convention
+    // (F = gamma at one slot remaining) the conservative column is the
+    // exact-fit table: range k needs k+1 slots. Row 1 is the shallow
+    // remainder, capped at default-tEP minus the 1-ms probe.
+    //                 g  1d 2d 3d 4d 5d 6d 7d >7d
+    const int c1[9] = {1, 2, 3, 4, 5, 5, 5, 5, 5};
+    const int a1[9] = {0, 0, 1, 2, 3, 4, 5, 5, 5};
+    const int c2[9] = {1, 2, 3, 4, 5, 6, 7, 7, 7};
+    const int a2[9] = {0, 0, 1, 2, 3, 4, 5, 6, 7};
+    const int c3[9] = {1, 2, 3, 4, 5, 6, 7, 7, 7};
+    const int a3[9] = {0, 0, 1, 2, 3, 4, 5, 6, 7};
+    const int c4[9] = {1, 2, 3, 4, 5, 6, 7, 7, 7};
+    const int a4[9] = {0, 1, 2, 3, 4, 5, 6, 7, 7};
+    const int c5[9] = {1, 2, 3, 4, 5, 6, 7, 7, 7};
+    const int a5[9] = {1, 2, 3, 4, 5, 6, 7, 7, 7};
+    const int *cs[kRows] = {c1, c2, c3, c4, c5};
+    const int *as[kRows] = {a1, a2, a3, a4, a5};
+    for (int row = 1; row <= kRows; ++row) {
+        for (int rg = 0; rg < kRanges; ++rg) {
+            t.setCons(row, rg, cs[row - 1][rg]);
+            t.setAggr(row, rg, as[row - 1][rg]);
+        }
+    }
+    return t;
+}
+
+std::string
+Ept::toString(const ChipParams &params) const
+{
+    std::ostringstream os;
+    os << "EPT (" << params.name << "), cells are mtEP in ms"
+       << " 'cons / aggr':\n";
+    os << "N\\F ";
+    for (int rg = 0; rg < kRanges; ++rg)
+        os << "| " << rangeLabel(rg) << "      ";
+    os << "\n";
+    for (int row = 1; row <= kRows; ++row) {
+        os << "  " << row << " ";
+        for (int rg = 0; rg < kRanges; ++rg) {
+            const double t1 = 0.5 * consSlots(row, rg);
+            const double t2 = 0.5 * aggrSlots(row, rg);
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "| %3.1f/%3.1f ", t1, t2);
+            os << buf;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace aero

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Erase-timing Parameter Table (EPT) — the paper's Table 1.
+ *
+ * The table maps (loop row, fail-bit range) to the predicted minimum
+ * erase-pulse time mtEP of the next loop, in 0.5-ms slots. Rows are
+ * indexed by the loop being predicted (clamped to the characterized
+ * maximum of 5); columns are the fail-bit ranges
+ *   0: F <= gamma, k (1..7): F <= k*delta, 8: F > 7*delta (= F_HIGH,
+ *   no reduction possible).
+ * Each cell stores two values: the conservative prediction t1 (process
+ * variation only) and the aggressive prediction t2 (also spending the
+ * ECC-capability margin); a t2 of 0 slots means "skip the loop entirely".
+ */
+
+#ifndef AERO_CORE_EPT_HH
+#define AERO_CORE_EPT_HH
+
+#include <array>
+#include <string>
+
+#include "nand/chip_params.hh"
+
+namespace aero
+{
+
+class Ept
+{
+  public:
+    static constexpr int kRows = 5;     //!< loop rows 1..5
+    static constexpr int kRanges = 9;   //!< gamma, 1..7 delta, > F_HIGH
+
+    Ept();
+
+    /** Fail-bit range index for a count F given the chip's gamma/delta. */
+    static int rangeIndex(const ChipParams &params, double fail_bits);
+
+    /** Human-readable label of a range column ("<=g", "<=3d", ">7d"). */
+    static std::string rangeLabel(int range);
+
+    /** Conservative slots for predicting loop `loop_row` (1-based). */
+    int consSlots(int loop_row, int range) const;
+
+    /** Aggressive (ECC-margin) slots; may be 0 = skip. */
+    int aggrSlots(int loop_row, int range) const;
+
+    void setCons(int loop_row, int range, int slots);
+    void setAggr(int loop_row, int range, int slots);
+
+    /** The paper's published Table 1 for the characterized 3D TLC chips. */
+    static Ept canonical(const ChipParams &params);
+
+    /** Pretty-print in the paper's "t1 / t2" layout (ms). */
+    std::string toString(const ChipParams &params) const;
+
+    bool operator==(const Ept &o) const = default;
+
+  private:
+    static int clampRow(int loop_row);
+    std::array<std::array<int, kRanges>, kRows> cons{};
+    std::array<std::array<int, kRanges>, kRows> aggr{};
+};
+
+} // namespace aero
+
+#endif // AERO_CORE_EPT_HH

@@ -1,0 +1,46 @@
+#include "core/sef.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+SefBitmap::SefBitmap(std::size_t num_blocks)
+    : count(num_blocks), words((num_blocks + 63) / 64, 0)
+{
+    // Stored inverted: a 0 bit means TRUE (shallow erasure wanted), so a
+    // zero-initialized bitmap enables shallow erasure for fresh blocks --
+    // exactly the paper's encoding.
+}
+
+bool
+SefBitmap::get(BlockId id) const
+{
+    AERO_CHECK(id < count, "SEF index out of range: ", id);
+    return ((words[id / 64] >> (id % 64)) & 1ULL) == 0;
+}
+
+void
+SefBitmap::set(BlockId id, bool v)
+{
+    AERO_CHECK(id < count, "SEF index out of range: ", id);
+    const std::uint64_t mask = 1ULL << (id % 64);
+    if (v)
+        words[id / 64] &= ~mask;
+    else
+        words[id / 64] |= mask;
+}
+
+std::size_t
+SefBitmap::popcount() const
+{
+    std::size_t cleared = 0;
+    for (const auto w : words)
+        cleared += static_cast<std::size_t>(std::popcount(w));
+    // Bits past `count` in the last word are zero (TRUE) by construction.
+    return count - cleared;
+}
+
+} // namespace aero

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shallow Erasure Flags (SEF) — a per-block bitmap tracking whether the
+ * shallow-probe optimization is worthwhile for a block (paper section 6).
+ * Bits start at TRUE so fresh blocks always get shallow erasure; the flag
+ * is cleared once a shallow probe shows the block cannot benefit, saving
+ * the extra VR(0) on future erases.
+ */
+
+#ifndef AERO_CORE_SEF_HH
+#define AERO_CORE_SEF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aero
+{
+
+class SefBitmap
+{
+  public:
+    explicit SefBitmap(std::size_t num_blocks);
+
+    bool get(BlockId id) const;
+    void set(BlockId id, bool v);
+
+    std::size_t size() const { return count; }
+
+    /** Number of blocks still flagged for shallow erasure. */
+    std::size_t popcount() const;
+
+    /** Storage footprint in bytes (the paper's overhead argument). */
+    std::size_t storageBytes() const { return words.size() * 8; }
+
+  private:
+    std::size_t count;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace aero
+
+#endif // AERO_CORE_SEF_HH

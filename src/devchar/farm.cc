@@ -1,0 +1,29 @@
+#include "devchar/farm.hh"
+
+namespace aero
+{
+
+namespace
+{
+
+PopulationConfig
+toPopulationConfig(const FarmConfig &cfg)
+{
+    PopulationConfig pc;
+    pc.type = cfg.type;
+    pc.numChips = cfg.numChips;
+    // One plane with exactly the sampled block count: characterization
+    // experiments address blocks directly.
+    pc.geometry = ChipGeometry{1, cfg.blocksPerChip, 64};
+    pc.seed = cfg.seed;
+    return pc;
+}
+
+} // namespace
+
+ChipFarm::ChipFarm(const FarmConfig &cfg_)
+    : cfg(cfg_), pop(toPopulationConfig(cfg_))
+{
+}
+
+} // namespace aero

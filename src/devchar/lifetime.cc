@@ -1,0 +1,84 @@
+#include "devchar/lifetime.hh"
+
+#include "core/aero_scheme.hh"
+
+namespace aero
+{
+
+LifetimeResult
+LifetimeTester::run(SchemeKind scheme) const
+{
+    ChipFarm farm(cfg.farm);
+    auto &pop = farm.population();
+    LifetimeResult res;
+    res.scheme = scheme;
+
+    std::vector<std::unique_ptr<EraseScheme>> schemes;
+    for (int c = 0; c < pop.numChips(); ++c)
+        schemes.push_back(makeEraseScheme(scheme, pop.chip(c),
+                                          cfg.schemeOptions));
+
+    double latency_ms_sum = 0.0;
+    double loops_sum = 0.0;
+    std::uint64_t erases = 0;
+
+    const int blocks = cfg.farm.blocksPerChip;
+    for (int pec = 0; pec < cfg.maxPec && !res.crossed;
+         pec += cfg.checkpointEvery) {
+        for (int c = 0; c < pop.numChips(); ++c) {
+            NandChip &chip = pop.chip(c);
+            const int n = std::min(blocks, chip.numBlocks());
+            for (int b = 0; b < n; ++b) {
+                for (int i = 0; i < cfg.checkpointEvery; ++i) {
+                    const auto out =
+                        eraseNow(*schemes[c], static_cast<BlockId>(b));
+                    latency_ms_sum += ticksToMs(out.latency);
+                    loops_sum += out.loops;
+                    ++erases;
+                }
+            }
+        }
+        // Average max-RBER across the population under the reference
+        // retention condition, including scheme-induced penalties.
+        double sum = 0.0;
+        int n_blocks = 0;
+        for (int c = 0; c < pop.numChips(); ++c) {
+            NandChip &chip = pop.chip(c);
+            const int n = std::min(blocks, chip.numBlocks());
+            for (int b = 0; b < n; ++b) {
+                sum += chip.maxRber(static_cast<BlockId>(b)) +
+                       schemes[c]->extraRber(static_cast<BlockId>(b));
+                n_blocks += 1;
+            }
+        }
+        const double avg = sum / n_blocks;
+        const double point = pec + cfg.checkpointEvery;
+        res.curve.emplace_back(point, avg);
+        if (res.curve.size() == 1)
+            res.freshMrber = avg;
+        if (avg >= cfg.rberRequirement) {
+            res.crossed = true;
+            res.lifetimePec = point;
+        }
+    }
+    if (!res.crossed)
+        res.lifetimePec = cfg.maxPec;
+    res.avgEraseLatencyMs =
+        erases ? latency_ms_sum / static_cast<double>(erases) : 0.0;
+    res.avgLoops = erases ? loops_sum / static_cast<double>(erases) : 0.0;
+    return res;
+}
+
+std::vector<LifetimeResult>
+LifetimeTester::runAll() const
+{
+    std::vector<LifetimeResult> out;
+    for (const auto k : {SchemeKind::Baseline, SchemeKind::IIspe,
+                         SchemeKind::Dpes, SchemeKind::AeroCons,
+                         SchemeKind::Aero}) {
+        out.push_back(run(k));
+    }
+    return out;
+}
+
+} // namespace aero

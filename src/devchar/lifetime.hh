@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Endurance study: cycle block populations to death under each erase
+ * scheme and record the average max-RBER trajectory (the paper's Fig. 13)
+ * plus the lifetime (PEC at which the average crosses the RBER
+ * requirement). Misprediction injection and reduced RBER requirements
+ * reuse the same engine for the Figs. 16/17 sensitivity studies.
+ */
+
+#ifndef AERO_DEVCHAR_LIFETIME_HH
+#define AERO_DEVCHAR_LIFETIME_HH
+
+#include <vector>
+
+#include "devchar/farm.hh"
+#include "erase/scheme.hh"
+
+namespace aero
+{
+
+struct LifetimeConfig
+{
+    FarmConfig farm;
+    int maxPec = 10000;
+    int checkpointEvery = 250;
+    double rberRequirement = 63.0;
+    SchemeOptions schemeOptions;
+};
+
+struct LifetimeResult
+{
+    SchemeKind scheme;
+    /** (PEC, average M_RBER) checkpoints — the Fig. 13 curve. */
+    std::vector<std::pair<double, double>> curve;
+    /** PEC where the average M_RBER crosses the requirement. */
+    double lifetimePec = 0.0;
+    bool crossed = false;
+    double avgEraseLatencyMs = 0.0;
+    double avgLoops = 0.0;
+    double freshMrber = 0.0;  //!< average after the first erase
+};
+
+class LifetimeTester
+{
+  public:
+    explicit LifetimeTester(const LifetimeConfig &cfg) : cfg(cfg) {}
+
+    LifetimeResult run(SchemeKind scheme) const;
+
+    /** Run all five schemes (the full Fig. 13). */
+    std::vector<LifetimeResult> runAll() const;
+
+  private:
+    LifetimeConfig cfg;
+};
+
+} // namespace aero
+
+#endif // AERO_DEVCHAR_LIFETIME_HH

@@ -1,0 +1,73 @@
+#include "devchar/simstudy.hh"
+
+#include <cstdlib>
+
+namespace aero
+{
+
+std::uint64_t
+defaultSimRequests(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("AERO_SIM_REQUESTS")) {
+        const auto v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+const std::vector<SchemeKind> &
+allSchemes()
+{
+    static const std::vector<SchemeKind> kinds = {
+        SchemeKind::Baseline, SchemeKind::IIspe, SchemeKind::Dpes,
+        SchemeKind::AeroCons, SchemeKind::Aero,
+    };
+    return kinds;
+}
+
+const std::vector<double> &
+paperPecPoints()
+{
+    static const std::vector<double> pecs = {500.0, 2500.0, 4500.0};
+    return pecs;
+}
+
+SimResult
+runSimPoint(const SimPoint &point)
+{
+    SsdConfig cfg = SsdConfig::bench();
+    cfg.scheme = point.scheme;
+    cfg.initialPec = point.pec;
+    cfg.suspension = point.suspension;
+    cfg.schemeOptions.mispredictionRate = point.mispredictionRate;
+    cfg.schemeOptions.rberRequirement = point.rberRequirement;
+    cfg.seed = point.seed ^ 0x51ULL;
+
+    Ssd ssd(cfg);
+
+    SyntheticConfig wc;
+    wc.spec = workloadByName(point.workload);
+    wc.footprintPages = ssd.config().logicalPages();
+    wc.numRequests = point.requests;
+    wc.seed = point.seed;
+    const Trace trace = generateTrace(wc);
+    ssd.run(trace);
+
+    const SsdMetrics &m = ssd.metrics();
+    SimResult r;
+    r.point = point;
+    r.avgReadUs = m.readLatency.mean() / static_cast<double>(kUs);
+    r.avgWriteUs = m.writeLatency.mean() / static_cast<double>(kUs);
+    r.iops = m.iops();
+    r.p999Us = ticksToUs(m.readLatency.percentile(0.999));
+    r.p9999Us = ticksToUs(m.readLatency.percentile(0.9999));
+    r.p999999Us = ticksToUs(m.readLatency.percentile(0.999999));
+    r.erases = m.erases;
+    r.avgEraseMs = m.avgEraseLatencyMs();
+    r.suspensions = m.eraseSuspensions;
+    r.writeAmplification = m.writeAmplification();
+    return r;
+}
+
+} // namespace aero

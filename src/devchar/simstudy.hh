@@ -1,0 +1,63 @@
+/**
+ * @file
+ * System-level simulation study driver for the paper's Figs. 14/15 and
+ * Table 4: runs the simulated SSD over a (workload, scheme, PEC,
+ * suspension-mode) grid and collects the latency/throughput statistics
+ * the paper reports. Request counts scale via AERO_SIM_REQUESTS so CI
+ * runs stay fast while full runs use more samples for stabler tails.
+ */
+
+#ifndef AERO_DEVCHAR_SIMSTUDY_HH
+#define AERO_DEVCHAR_SIMSTUDY_HH
+
+#include <string>
+#include <vector>
+
+#include "ssd/ssd.hh"
+#include "workload/synthetic.hh"
+
+namespace aero
+{
+
+struct SimPoint
+{
+    std::string workload = "prxy";
+    SchemeKind scheme = SchemeKind::Baseline;
+    double pec = 500.0;
+    SuspensionMode suspension = SuspensionMode::MidSegment;
+    double mispredictionRate = 0.0;
+    int rberRequirement = 63;
+    std::uint64_t requests = 120000;
+    std::uint64_t seed = 7;
+};
+
+struct SimResult
+{
+    SimPoint point;
+    double avgReadUs = 0.0;
+    double avgWriteUs = 0.0;
+    double iops = 0.0;
+    double p999Us = 0.0;
+    double p9999Us = 0.0;
+    double p999999Us = 0.0;
+    std::uint64_t erases = 0;
+    double avgEraseMs = 0.0;
+    std::uint64_t suspensions = 0;
+    double writeAmplification = 0.0;
+};
+
+/** Run one grid point on the bench-scale SSD. */
+SimResult runSimPoint(const SimPoint &point);
+
+/** Default request count, overridable via the AERO_SIM_REQUESTS env. */
+std::uint64_t defaultSimRequests(std::uint64_t fallback = 120000);
+
+/** The five schemes in the paper's comparison order. */
+const std::vector<SchemeKind> &allSchemes();
+
+/** The three conditioning points of section 7 (0.5K / 2.5K / 4.5K). */
+const std::vector<double> &paperPecPoints();
+
+} // namespace aero
+
+#endif // AERO_DEVCHAR_SIMSTUDY_HH

@@ -1,0 +1,49 @@
+#include "ecc/ecc_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+EccModel::EccModel(const EccConfig &cfg_) : cfg(cfg_)
+{
+    AERO_CHECK(cfg.requirement <= cfg.capability,
+               "requirement must not exceed capability");
+    AERO_CHECK(cfg.capability > 0, "capability must be positive");
+}
+
+DecodeResult
+EccModel::decode(double raw_errors) const
+{
+    DecodeResult res;
+    res.margin = cfg.requirement - static_cast<int>(std::ceil(raw_errors));
+    if (raw_errors > static_cast<double>(cfg.capability)) {
+        res.correctable = false;
+        res.usedSoftDecode = true;
+        res.latency = cfg.hardDecodeLatency + cfg.softDecodeLatency;
+        return res;
+    }
+    if (raw_errors > static_cast<double>(cfg.requirement)) {
+        // Correctable, but past the guard band: the controller escalates
+        // to the soft path to be safe.
+        res.usedSoftDecode = true;
+        res.latency = cfg.hardDecodeLatency + cfg.softDecodeLatency;
+        return res;
+    }
+    res.latency = cfg.hardDecodeLatency;
+    return res;
+}
+
+int
+EccModel::marginFor(double expected_errors) const
+{
+    const double m =
+        static_cast<double>(cfg.requirement) - expected_errors;
+    if (m <= 0.0)
+        return 0;
+    return static_cast<int>(std::floor(m));
+}
+
+} // namespace aero

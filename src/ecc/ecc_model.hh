@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Behavioural model of the SSD's error-correction subsystem.
+ *
+ * Mirrors the budget the paper works with (section 5.4): an LDPC-class code
+ * that corrects up to `capability` raw bit errors per 1-KiB codeword, a
+ * conservative `requirement` (capability minus a sampling-error guard band)
+ * that defines when a block is considered worn out, and the
+ * "ECC-capability margin" = requirement - expected RBER that AERO spends on
+ * aggressive tEP reduction.
+ */
+
+#ifndef AERO_ECC_ECC_MODEL_HH
+#define AERO_ECC_ECC_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace aero
+{
+
+struct EccConfig
+{
+    /** Max correctable raw bit errors per 1-KiB codeword (paper: 72). */
+    int capability = 72;
+    /** RBER requirement with safety margin (paper: 63). */
+    int requirement = 63;
+    /** Hard-decision decode latency, hidden under sensing (paper: 8 us). */
+    Tick hardDecodeLatency = 8 * kUs;
+    /** Soft-decision retry latency when hard decoding fails. */
+    Tick softDecodeLatency = 80 * kUs;
+    /** Hard-decision failure probability when RBER <= requirement. */
+    double hardFailureRate = 1e-5;
+};
+
+/** Outcome of decoding one codeword. */
+struct DecodeResult
+{
+    bool correctable = true;   //!< false -> uncorrectable (block unusable)
+    bool usedSoftDecode = false;
+    Tick latency = 0;
+    int margin = 0;            //!< requirement - observed errors (may be <0)
+};
+
+class EccModel
+{
+  public:
+    explicit EccModel(const EccConfig &cfg = EccConfig());
+
+    const EccConfig &config() const { return cfg; }
+
+    /**
+     * Decode a codeword with `raw_errors` raw bit errors.
+     * Errors above `capability` are uncorrectable; errors between
+     * requirement and capability succeed but flag the soft path.
+     */
+    DecodeResult decode(double raw_errors) const;
+
+    /** requirement - expected errors, clamped at 0: the spendable margin. */
+    int marginFor(double expected_errors) const;
+
+    /** Does a block with this max-RBER still satisfy the requirement? */
+    bool meetsRequirement(double max_rber) const
+    {
+        return max_rber <= static_cast<double>(cfg.requirement);
+    }
+
+  private:
+    EccConfig cfg;
+};
+
+} // namespace aero
+
+#endif // AERO_ECC_ECC_MODEL_HH

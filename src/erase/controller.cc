@@ -1,0 +1,41 @@
+#include "erase/scheme.hh"
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+const char *
+schemeKindName(SchemeKind k)
+{
+    switch (k) {
+      case SchemeKind::Baseline: return "Baseline";
+      case SchemeKind::IIspe: return "i-ISPE";
+      case SchemeKind::Dpes: return "DPES";
+      case SchemeKind::AeroCons: return "AERO-CONS";
+      case SchemeKind::Aero: return "AERO";
+    }
+    return "unknown";
+}
+
+EraseOutcome
+runEraseToCompletion(EraseSession &session)
+{
+    EraseSegment seg;
+    int guard = 0;
+    while (session.nextSegment(seg)) {
+        AERO_CHECK(++guard < 64, "erase session failed to terminate");
+        if (seg.last)
+            break;
+    }
+    return session.outcome();
+}
+
+EraseOutcome
+eraseNow(EraseScheme &scheme, BlockId id)
+{
+    auto session = scheme.begin(id);
+    return runEraseToCompletion(*session);
+}
+
+} // namespace aero

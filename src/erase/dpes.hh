@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dynamic Program and Erase Scaling (Jeong et al., FAST'14 / TC'17; paper
+ * section 3.3): lower V_ERASE by 8-10 % to reduce erase-induced stress,
+ * paying with a narrower program-voltage window and hence 10-30 % longer
+ * tPROG. Only applicable while blocks are young (until 3K PEC on the
+ * paper's chips); afterwards it degenerates to Baseline ISPE.
+ */
+
+#ifndef AERO_ERASE_DPES_HH
+#define AERO_ERASE_DPES_HH
+
+#include "erase/scheme.hh"
+
+namespace aero
+{
+
+class Dpes : public EraseScheme
+{
+  public:
+    Dpes(NandChip &chip, const SchemeOptions &opts)
+        : EraseScheme(chip, opts)
+    {
+    }
+
+    SchemeKind kind() const override { return SchemeKind::Dpes; }
+
+    std::unique_ptr<EraseSession> begin(BlockId id) override;
+
+    Tick programLatency(BlockId id) const override;
+
+    double extraRber(BlockId id) const override;
+
+    /** Is the voltage-scaled mode still applicable for this block? */
+    bool active(BlockId id) const;
+};
+
+} // namespace aero
+
+#endif // AERO_ERASE_DPES_HH

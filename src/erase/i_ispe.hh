@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Intelligent ISPE (Lee et al., IMW 2011; paper section 3.3): remember the
+ * final erase loop of the previous erase of each block and jump straight
+ * to it, skipping the preamble loops. Skipping works well on 2D chips but
+ * fails increasingly often on 3D chips (the paper's motivation): a failed
+ * jump forces an extra loop at a voltage *above* what conventional ISPE
+ * would have used, concentrating damage at high V_ERASE. The remembered
+ * level only ratchets upward because i-ISPE never probes lower levels.
+ */
+
+#ifndef AERO_ERASE_I_ISPE_HH
+#define AERO_ERASE_I_ISPE_HH
+
+#include <vector>
+
+#include "erase/scheme.hh"
+
+namespace aero
+{
+
+class IntelligentIspe : public EraseScheme
+{
+  public:
+    IntelligentIspe(NandChip &chip, const SchemeOptions &opts);
+
+    SchemeKind kind() const override { return SchemeKind::IIspe; }
+
+    std::unique_ptr<EraseSession> begin(BlockId id) override;
+
+    /** The remembered start level for a block (test hook). */
+    int rememberedLevel(BlockId id) const;
+
+    /** Every this-many erases of a block, probe one level lower so the
+     *  memory can track decreasing requirements (bounds over-leveling). */
+    static constexpr int kProbeInterval = 8;
+
+  private:
+    friend class IIspeSession;
+    std::vector<int> lastLevel;   //!< per-block remembered N_ISPE
+    std::vector<std::uint8_t> eraseCount;  //!< probe cadence counter
+};
+
+} // namespace aero
+
+#endif // AERO_ERASE_I_ISPE_HH

@@ -1,0 +1,76 @@
+#include "erase/multi_plane.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+MultiPlaneErase::MultiPlaneErase(EraseScheme &scheme,
+                                 const std::vector<BlockId> &blocks)
+{
+    AERO_CHECK(!blocks.empty(), "multi-plane erase needs >= 1 block");
+    AERO_CHECK(static_cast<int>(blocks.size()) <=
+                   scheme.chip().geometry().planes,
+               "more blocks than planes");
+    members.reserve(blocks.size());
+    for (const BlockId b : blocks)
+        members.push_back(Member{scheme.begin(b), b, false});
+    result.perBlock.resize(blocks.size());
+}
+
+bool
+MultiPlaneErase::nextJointSegment(EraseSegment &seg)
+{
+    if (finished)
+        return false;
+    Tick joint = 0;
+    bool any = false;
+    bool all_done = true;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        auto &m = members[i];
+        if (m.done)
+            continue;
+        EraseSegment member_seg;
+        const bool more = m.session->nextSegment(member_seg);
+        AERO_CHECK(more, "member session exhausted mid-operation");
+        any = true;
+        // Lock-step: the joint loop lasts as long as its slowest member;
+        // completed members are inhibited for the remainder.
+        joint = std::max(joint, member_seg.duration);
+        if (member_seg.last) {
+            m.done = true;
+            result.perBlock[i] = m.session->outcome();
+            result.totalDamage += result.perBlock[i].damage;
+            result.serialLatency += result.perBlock[i].latency;
+        } else {
+            all_done = false;
+        }
+    }
+    AERO_CHECK(any, "joint segment with no active members");
+    result.latency += joint;
+    result.jointSegments += 1;
+    seg.duration = joint;
+    seg.last = all_done;
+    if (all_done)
+        finished = true;
+    return true;
+}
+
+MultiPlaneOutcome
+MultiPlaneErase::eraseNow(EraseScheme &scheme,
+                          const std::vector<BlockId> &blocks)
+{
+    MultiPlaneErase op(scheme, blocks);
+    EraseSegment seg;
+    int guard = 0;
+    while (op.nextJointSegment(seg)) {
+        AERO_CHECK(++guard < 128, "multi-plane erase failed to finish");
+        if (seg.last)
+            break;
+    }
+    return op.outcome();
+}
+
+} // namespace aero

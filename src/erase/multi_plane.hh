@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Multi-plane erase operations (paper section 6, "Multi-Plane
+ * Operations").
+ *
+ * A typical chip erases one block per plane concurrently; planes share
+ * peripheral circuitry, so the loops advance in lock-step and the worst
+ * block determines the operation's latency. The paper's observations:
+ *
+ *  1. tEP can be set per target block, so AERO's per-block predictions
+ *     still apply inside a multi-plane erase; and
+ *  2. a block that completes early is *inhibited* from further pulses, so
+ *     it only receives the loops and pulse time it actually needs --
+ *     AERO keeps its full lifetime benefit, while the latency benefit is
+ *     bounded by the slowest block of the group.
+ *
+ * MultiPlaneErase composes one per-block EraseSession per plane: each
+ * joint segment's duration is the max of the member segments (lock-step
+ * loops), members that finish early are inhibited (no further pulses, no
+ * further damage), and the joint outcome aggregates damage while taking
+ * the max latency.
+ */
+
+#ifndef AERO_ERASE_MULTI_PLANE_HH
+#define AERO_ERASE_MULTI_PLANE_HH
+
+#include <memory>
+#include <vector>
+
+#include "erase/scheme.hh"
+
+namespace aero
+{
+
+/** Aggregate outcome of one multi-plane erase operation. */
+struct MultiPlaneOutcome
+{
+    Tick latency = 0;            //!< max over members (lock-step loops)
+    int jointSegments = 0;       //!< joint loop count
+    double totalDamage = 0.0;    //!< sum over members
+    std::vector<EraseOutcome> perBlock;
+
+    /** Latency a serial (one block at a time) execution would need. */
+    Tick serialLatency = 0;
+};
+
+class MultiPlaneErase
+{
+  public:
+    /**
+     * Begin a multi-plane erase of `blocks` (one per plane) using the
+     * given scheme for every member. All blocks must belong to the
+     * scheme's chip.
+     */
+    MultiPlaneErase(EraseScheme &scheme,
+                    const std::vector<BlockId> &blocks);
+
+    /**
+     * Advance one joint (lock-step) erase loop. Members that already
+     * completed are inhibited and contribute neither time nor damage.
+     * @return false once every member has finished.
+     */
+    bool nextJointSegment(EraseSegment &seg);
+
+    /** Valid after nextJointSegment() returned false (or seg.last). */
+    const MultiPlaneOutcome &outcome() const { return result; }
+
+    /** Convenience: run the whole operation. */
+    static MultiPlaneOutcome eraseNow(EraseScheme &scheme,
+                                      const std::vector<BlockId> &blocks);
+
+  private:
+    struct Member
+    {
+        std::unique_ptr<EraseSession> session;
+        BlockId block;
+        bool done = false;
+    };
+
+    std::vector<Member> members;
+    MultiPlaneOutcome result;
+    bool finished = false;
+};
+
+} // namespace aero
+
+#endif // AERO_ERASE_MULTI_PLANE_HH

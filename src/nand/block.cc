@@ -1,0 +1,11 @@
+#include "nand/block.hh"
+
+namespace aero
+{
+
+Block::Block(BlockId id, double pv_z, Rng rng)
+    : blockId(id), pvZScore(pv_z), blockRng(rng)
+{
+}
+
+} // namespace aero

@@ -1,0 +1,116 @@
+#include "nand/chip_params.hh"
+
+namespace aero
+{
+
+const char *
+chipTypeName(ChipType t)
+{
+    switch (t) {
+      case ChipType::Tlc3d48L: return "3D TLC (48L)";
+      case ChipType::Tlc2d: return "2D TLC (2x-nm)";
+      case ChipType::Mlc3d48L: return "3D MLC (48L)";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+PiecewiseLinear
+dpesTProgCurve()
+{
+    // 10 % tPROG penalty early, growing to 30 % as the voltage window
+    // tightens toward the 3K-PEC applicability limit (paper section 7.1).
+    return PiecewiseLinear({{0.0, 1.10}, {2500.0, 1.30}, {3000.0, 1.30}});
+}
+
+} // namespace
+
+ChipParams
+ChipParams::tlc3d()
+{
+    ChipParams p;
+    p.type = ChipType::Tlc3d48L;
+    p.name = chipTypeName(p.type);
+    // Mean required slots per PEC, calibrated to Fig. 4:
+    //  - PEC 0: all blocks single-loop, >70 % within 2.5 ms (<=5 slots)
+    //  - PEC 1K: ~76 % single-loop, ~30 % within 2.5 ms
+    //  - PEC 2K: essentially all blocks need >= 2 loops (2-4 loops)
+    //  - PEC 3K: N_ISPE = 3 is the mode (~40-55 %)
+    //  - PEC 5K: up to 5 loops
+    p.anchorSlots = PiecewiseLinear({
+        {0.0, 4.6}, {1000.0, 5.9}, {2000.0, 14.8}, {3000.0, 18.0},
+        {4000.0, 23.0}, {5000.0, 28.0}, {6000.0, 33.5}, {8000.0, 45.0},
+        {12000.0, 68.0},
+    });
+    // Process-variation amplitude grows toward mid-life (std of mtBERS at
+    // 3.5K PEC is ~2.7 ms in the paper, i.e. ~5.5 slots around a ~20
+    // mean) and tightens again at end of life, where Fig. 4 shows all
+    // blocks within the N_ISPE = 4-5 bands.
+    p.pvAmp = PiecewiseLinear({
+        {0.0, 0.135}, {1000.0, 0.22}, {2500.0, 0.27}, {3500.0, 0.28},
+        {5000.0, 0.12}, {8000.0, 0.13},
+    });
+    p.dpesTProgFactor = dpesTProgCurve();
+    return p;
+}
+
+ChipParams
+ChipParams::tlc2d()
+{
+    ChipParams p = tlc3d();
+    p.type = ChipType::Tlc2d;
+    p.name = chipTypeName(p.type);
+    // 2D chips: planar FG cells erase more uniformly -> lower variation,
+    // smaller fail-bit quanta (four-plane chips count per-plane bitlines),
+    // and loop-skipping works as designed (preambleEff = 1).
+    p.gamma = 350.0;
+    p.delta = 3600.0;
+    p.preambleEff = 1.0;
+    p.skipFailPerLevel = 0.015;  // loop-skipping is reliable on 2D cells
+    p.pvAmp = PiecewiseLinear({
+        {0.0, 0.10}, {1000.0, 0.16}, {3000.0, 0.20}, {5000.0, 0.10},
+        {8000.0, 0.11},
+    });
+    // Commodity 2D TLC wears out slightly earlier.
+    p.anchorSlots = PiecewiseLinear({
+        {0.0, 4.8}, {1000.0, 6.4}, {2000.0, 15.6}, {3000.0, 19.0},
+        {4000.0, 24.5}, {5000.0, 30.0}, {6000.0, 36.0}, {8000.0, 48.0},
+        {12000.0, 72.0},
+    });
+    return p;
+}
+
+ChipParams
+ChipParams::mlc3d()
+{
+    ChipParams p = tlc3d();
+    p.type = ChipType::Mlc3d48L;
+    p.name = chipTypeName(p.type);
+    // MLC stores 2 bits/cell: wider V_TH margins -> lower residual floor
+    // and RBER growth, higher endurance.
+    p.gamma = 420.0;
+    p.delta = 4400.0;
+    p.rber0 = 12.0;
+    p.rberCoeff = 7.2;
+    p.anchorSlots = PiecewiseLinear({
+        {0.0, 4.3}, {1000.0, 5.4}, {2000.0, 13.2}, {3000.0, 16.2},
+        {4000.0, 20.5}, {5000.0, 25.0}, {6000.0, 30.0}, {8000.0, 40.0},
+        {12000.0, 60.0},
+    });
+    return p;
+}
+
+ChipParams
+ChipParams::forType(ChipType t)
+{
+    switch (t) {
+      case ChipType::Tlc3d48L: return tlc3d();
+      case ChipType::Tlc2d: return tlc2d();
+      case ChipType::Mlc3d48L: return mlc3d();
+    }
+    return tlc3d();
+}
+
+} // namespace aero

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Pure erase-pulse physics: requirement sampling, pulse progress, and
+ * fail-bit readout. These free functions are the single source of truth
+ * for how a block responds to erase pulses; Block/NandChip only hold state.
+ *
+ * Model recap (DESIGN.md section 5): a block needs R "slots" (0.5 ms units)
+ * of erasure along the canonical ISPE schedule, whose voltage level rises
+ * by one every slotsPerLoop slots. Erasure depth is threshold-dominated:
+ * the V_TH shift a pulse achieves is governed first by its voltage, then
+ * by its duration. A pulse at level L therefore
+ *   - instantly inherits the depth the canonical preamble loops 1..L-1
+ *     would have reached, discounted by preambleEff (< 1 on 3D chips:
+ *     the jump falls short of the true preamble, which is why i-ISPE's
+ *     loop-skipping increasingly fails on 3D flash), i.e.
+ *     p := max(p, preambleEff * slotsPerLoop * (L-1)); then
+ *   - advances one position per slot while level(p) <= L, and only
+ *     underEff^(level(p) - L) per slot beyond its own band (staying at a
+ *     low voltage for longer cannot reach the deeper erase states --
+ *     why a shallow probe cannot erase a multi-loop block).
+ * The verify-read fail-bit count is F = gamma + delta * (R - p) while
+ * p < R (the linear relation of Fig. 7) and a sub-F_PASS value afterwards.
+ */
+
+#ifndef AERO_NAND_ERASE_MODEL_HH
+#define AERO_NAND_ERASE_MODEL_HH
+
+#include "common/rng.hh"
+#include "nand/chip_params.hh"
+
+namespace aero
+{
+
+/** Transient state of one in-flight erase operation on a block. */
+struct EraseOpState
+{
+    bool active = false;
+    double requirement = 0.0;  //!< R: slots needed this operation
+    double progress = 0.0;     //!< p: canonical-schedule position reached
+    int pulses = 0;            //!< EP steps issued so far
+    int slotsApplied = 0;      //!< raw slots of voltage applied
+    int maxLevel = 0;          //!< highest level used
+    double damage = 0.0;       //!< accumulated wear of this operation
+
+    void
+    reset()
+    {
+        *this = EraseOpState();
+    }
+};
+
+/**
+ * Sample the slot requirement R for a new erase operation.
+ *
+ * @param params    chip type
+ * @param peq       equivalent PEC of the block (wear-derived)
+ * @param pv_z      frozen per-block process-variation z-score
+ * @param chip_pv   frozen chip-level multiplicative factor
+ * @param rng       per-block RNG (per-erase jitter)
+ */
+double sampleRequirement(const ChipParams &params, double peq, double pv_z,
+                         double chip_pv, Rng &rng);
+
+/** Advance rate (schedule positions per slot) at position p, level L. */
+double advancePerSlot(const ChipParams &params, double progress, int level);
+
+/** Depth a level-L pulse inherits instantly (discounted preamble). */
+double pulseJumpDepth(const ChipParams &params, int level);
+
+/**
+ * Apply an erase pulse of `slots` slots at `level` to an operation.
+ * Updates progress/damage/slot accounting in place.
+ *
+ * @param stress_scale  scales damage only (DPES's lowered V_ERASE)
+ * @param jump_scale    scales the preamble jump depth (skip failures)
+ */
+void applyPulse(const ChipParams &params, EraseOpState &op, int level,
+                int slots, double stress_scale = 1.0,
+                double jump_scale = 1.0);
+
+/** Fail-bit readout for the current operation state (with noise). */
+double failBits(const ChipParams &params, const EraseOpState &op, Rng &rng);
+
+/** Noise-free expected fail bits for `remaining` slots of work left. */
+double expectedFailBits(const ChipParams &params, double remaining);
+
+/** Invert expectedFailBits: remaining slots implied by a fail-bit count. */
+double remainingSlotsFor(const ChipParams &params, double fail_bits);
+
+/** Derived quantities of a requirement R under the canonical schedule. */
+int nIspeFor(const ChipParams &params, double requirement);
+int finalLoopSlotsFor(const ChipParams &params, double requirement);
+
+/**
+ * Mean damage of a full Baseline (fixed-tEP) erase of a block whose mean
+ * requirement is `mean_slots`: every loop runs all slotsPerLoop slots.
+ */
+double baselineEraseDamage(const ChipParams &params, double mean_slots);
+
+} // namespace aero
+
+#endif // AERO_NAND_ERASE_MODEL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel: a time-ordered queue of
+ * callbacks with a monotonically advancing clock. Events scheduled for the
+ * same tick fire in scheduling order (a stable sequence number breaks
+ * ties), which keeps simulations deterministic.
+ */
+
+#ifndef AERO_SIM_EVENT_QUEUE_HH
+#define AERO_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aero
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return currentTick; }
+
+    bool empty() const { return events.empty(); }
+    std::size_t pending() const { return events.size(); }
+    std::uint64_t processed() const { return processedCount; }
+
+    /** Schedule `cb` to run `delay` ticks from now. */
+    void
+    schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(currentTick + delay, std::move(cb));
+    }
+
+    /** Schedule `cb` at an absolute tick (must not be in the past). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** Run until the queue drains or `until` is reached. */
+    void run(Tick until = kTickMax);
+
+    /** Process exactly one event; returns false if the queue is empty. */
+    bool step();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t processedCount = 0;
+};
+
+} // namespace aero
+
+#endif // AERO_SIM_EVENT_QUEUE_HH

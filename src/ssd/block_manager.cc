@@ -1,0 +1,132 @@
+#include "ssd/block_manager.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+BlockManager::BlockManager(const SsdConfig &cfg)
+    : numChips(cfg.totalChips()), planesPerChip(cfg.geometry.planes),
+      blocksPerPlane(cfg.geometry.blocksPerPlane),
+      pagesPerBlock(cfg.geometry.pagesPerBlock),
+      planesState(static_cast<std::size_t>(numChips) * planesPerChip),
+      blockStates(static_cast<std::size_t>(numChips) * planesPerChip *
+                      blocksPerPlane,
+                  BlockState::Free)
+{
+    for (int c = 0; c < numChips; ++c) {
+        for (int p = 0; p < planesPerChip; ++p) {
+            auto &plane = planesState[planeIndex(c, p)];
+            plane.freeList.reserve(blocksPerPlane);
+            // Populate in reverse so allocation proceeds from block 0 up.
+            for (int b = blocksPerPlane - 1; b >= 0; --b) {
+                plane.freeList.push_back(
+                    static_cast<BlockId>(p * blocksPerPlane + b));
+            }
+        }
+    }
+}
+
+int
+BlockManager::freeBlocks(int chip, int plane) const
+{
+    return static_cast<int>(
+        planesState[planeIndex(chip, plane)].freeList.size());
+}
+
+int
+BlockManager::minFreeBlocks(int chip) const
+{
+    int min_free = blocksPerPlane;
+    for (int p = 0; p < planesPerChip; ++p)
+        min_free = std::min(min_free, freeBlocks(chip, p));
+    return min_free;
+}
+
+BlockState
+BlockManager::state(int chip, BlockId block) const
+{
+    return blockStates[blockIndex(chip, block)];
+}
+
+bool
+BlockManager::allocate(int chip, int plane, BlockId &block, int &page,
+                       bool for_gc)
+{
+    auto &ps = planesState[planeIndex(chip, plane)];
+    // GC relocations use their own write point so that a victim's live
+    // pages always fit the block GC opened for them; user writes keep a
+    // block in reserve for exactly that purpose.
+    BlockId &open = for_gc ? ps.openGc : ps.open;
+    int &cursor = for_gc ? ps.cursorGc : ps.cursor;
+    if (open == kInvalidBlock) {
+        const auto reserve =
+            for_gc ? 0u : static_cast<std::size_t>(kGcReservedBlocks);
+        if (ps.freeList.size() <= reserve)
+            return false;
+        open = ps.freeList.back();
+        ps.freeList.pop_back();
+        cursor = 0;
+        blockStates[blockIndex(chip, open)] = BlockState::Open;
+    }
+    block = open;
+    page = cursor++;
+    if (cursor == pagesPerBlock) {
+        blockStates[blockIndex(chip, open)] = BlockState::Full;
+        open = kInvalidBlock;
+        cursor = 0;
+    }
+    return true;
+}
+
+int
+BlockManager::openPageCursor(int chip, int plane) const
+{
+    const auto &ps = planesState[planeIndex(chip, plane)];
+    AERO_CHECK(ps.open != kInvalidBlock, "no open block");
+    return ps.cursor;
+}
+
+void
+BlockManager::onBlockErased(int chip, BlockId block)
+{
+    auto &st = blockStates[blockIndex(chip, block)];
+    AERO_CHECK(st == BlockState::Full,
+               "erased block was not in Full state");
+    st = BlockState::Free;
+    const int plane = planeOf(block);
+    planesState[planeIndex(chip, plane)].freeList.push_back(block);
+}
+
+std::vector<BlockId>
+BlockManager::fullBlocks(int chip, int plane) const
+{
+    std::vector<BlockId> out;
+    for (int b = 0; b < blocksPerPlane; ++b) {
+        const auto id = static_cast<BlockId>(plane * blocksPerPlane + b);
+        if (state(chip, id) == BlockState::Full)
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::size_t
+BlockManager::planeIndex(int chip, int plane) const
+{
+    AERO_CHECK(chip >= 0 && chip < numChips, "chip out of range");
+    AERO_CHECK(plane >= 0 && plane < planesPerChip, "plane out of range");
+    return static_cast<std::size_t>(chip) * planesPerChip + plane;
+}
+
+std::size_t
+BlockManager::blockIndex(int chip, BlockId block) const
+{
+    AERO_CHECK(block < static_cast<BlockId>(planesPerChip * blocksPerPlane),
+               "block out of range");
+    return static_cast<std::size_t>(chip) * planesPerChip * blocksPerPlane +
+           block;
+}
+
+} // namespace aero

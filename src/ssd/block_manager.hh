@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Physical block allocation: per-(chip, plane) free pools and open write
+ * points. Blocks move Free -> Open -> Full -> (GC erase) -> Free.
+ */
+
+#ifndef AERO_SSD_BLOCK_MANAGER_HH
+#define AERO_SSD_BLOCK_MANAGER_HH
+
+#include <vector>
+
+#include "ssd/config.hh"
+
+namespace aero
+{
+
+enum class BlockState : std::uint8_t { Free, Open, Full };
+
+class BlockManager
+{
+  public:
+    explicit BlockManager(const SsdConfig &cfg);
+
+    int planeOf(BlockId block) const
+    {
+        return static_cast<int>(block) / blocksPerPlane;
+    }
+
+    int freeBlocks(int chip, int plane) const;
+    int minFreeBlocks(int chip) const;
+
+    BlockState state(int chip, BlockId block) const;
+
+    /**
+     * Allocate the next page of the open block of (chip, plane), opening
+     * a fresh block from the free pool when needed. One free block per
+     * plane is reserved for GC destinations: user allocations cannot take
+     * the last free block (for_gc = false), which guarantees GC always
+     * finds a relocation target and the drive cannot wedge.
+     * @return true and fills block/page, or false if the plane is out of
+     *         space (caller must wait for GC).
+     */
+    bool allocate(int chip, int plane, BlockId &block, int &page,
+                  bool for_gc = false);
+
+    /** Free blocks a user allocation may still open. */
+    static constexpr int kGcReservedBlocks = 1;
+
+    /** Pages already allocated in the open block (block must be Open). */
+    int openPageCursor(int chip, int plane) const;
+
+    /** Return an erased block to the free pool. */
+    void onBlockErased(int chip, BlockId block);
+
+    /** Full blocks of a plane (GC victim candidates). */
+    std::vector<BlockId> fullBlocks(int chip, int plane) const;
+
+    int chips() const { return numChips; }
+    int planes() const { return planesPerChip; }
+
+  private:
+    struct Plane
+    {
+        std::vector<BlockId> freeList;
+        BlockId open = kInvalidBlock;       //!< user write point
+        int cursor = 0;
+        BlockId openGc = kInvalidBlock;     //!< GC relocation write point
+        int cursorGc = 0;
+    };
+
+    std::size_t planeIndex(int chip, int plane) const;
+    std::size_t blockIndex(int chip, BlockId block) const;
+
+    int numChips;
+    int planesPerChip;
+    int blocksPerPlane;
+    int pagesPerBlock;
+    std::vector<Plane> planesState;
+    std::vector<BlockState> blockStates;
+};
+
+} // namespace aero
+
+#endif // AERO_SSD_BLOCK_MANAGER_HH

@@ -1,0 +1,236 @@
+#include "ssd/chip_agent.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+ChipAgent::ChipAgent(int chip_idx, NandChip &chip, EraseScheme &scheme_,
+                     EventQueue &eq_, const SsdConfig &cfg_,
+                     Channel &channel_, FtlCallbacks &ftl_,
+                     SsdMetrics &metrics_)
+    : chipIdx(chip_idx), nand(chip), scheme(scheme_), eq(eq_), cfg(cfg_),
+      channel(channel_), ftl(ftl_), metrics(metrics_)
+{
+}
+
+bool
+ChipAgent::idle() const
+{
+    return !busy && readQ.empty() && writeQ.empty() && gcQ.empty() &&
+           eraseQ.empty() && !erase.has_value();
+}
+
+std::size_t
+ChipAgent::queuedOps() const
+{
+    return readQ.size() + writeQ.size() + gcQ.size() + eraseQ.size();
+}
+
+void
+ChipAgent::enqueue(const PageOp &op)
+{
+    switch (op.kind) {
+      case PageOp::Kind::UserRead:
+        readQ.push_back(op);
+        // Erase suspension: preempt an in-flight erase segment so the
+        // read does not wait several milliseconds.
+        if (busy && inEraseSegment &&
+            cfg.suspension == SuspensionMode::MidSegment &&
+            erase && !erase->paused &&
+            erase->suspensionsThisOp < kMaxSuspensionsPerOp) {
+            ++version;  // cancel the scheduled segment completion
+            erase->paused = true;
+            erase->pausedRemaining = opEnd - eq.now();
+            erase->suspensionsThisOp += 1;
+            metrics.eraseSuspensions += 1;
+            inEraseSegment = false;
+            // The chip stays busy while the erase voltage quiesces.
+            opEnd = eq.now() + cfg.suspendEntryLatency;
+            const auto v = version;
+            eq.scheduleAt(opEnd, [this, v] {
+                if (v != version)
+                    return;
+                busy = false;
+                dispatch();
+            });
+        }
+        break;
+      case PageOp::Kind::UserWrite:
+        writeQ.push_back(op);
+        break;
+      case PageOp::Kind::GcRead:
+      case PageOp::Kind::GcWrite:
+        gcQ.push_back(op);
+        break;
+    }
+    dispatch();
+}
+
+void
+ChipAgent::enqueueErase(BlockId block, GcJob *job)
+{
+    eraseQ.emplace_back(block, job);
+    dispatch();
+}
+
+void
+ChipAgent::dispatch()
+{
+    if (busy)
+        return;
+    // 1. User reads first: the latency-critical path.
+    if (!readQ.empty()) {
+        PageOp op = readQ.front();
+        readQ.pop_front();
+        startRead(op);
+        return;
+    }
+    // 2. A suspended erase segment owns the cell array mid-pulse; it must
+    //    complete before any other operation can use the chip.
+    if (erase && erase->paused) {
+        resumeErase();
+        return;
+    }
+    // 3. Out-of-space erase beats writes: the writes need its free block.
+    const bool have_erase_work = erase.has_value() || !eraseQ.empty();
+    if (have_erase_work) {
+        const BlockId blk = erase ? erase->block : eraseQ.front().first;
+        if (ftl.eraseUrgent(chipIdx, blk)) {
+            startEraseWork();
+            return;
+        }
+    }
+    // 4. User writes.
+    if (!writeQ.empty()) {
+        PageOp op = writeQ.front();
+        writeQ.pop_front();
+        startWrite(op);
+        return;
+    }
+    // 5. GC page migrations.
+    if (!gcQ.empty()) {
+        PageOp op = gcQ.front();
+        gcQ.pop_front();
+        if (op.kind == PageOp::Kind::GcRead)
+            startRead(op);
+        else
+            startWrite(op);
+        return;
+    }
+    // 6. Background erase work.
+    if (have_erase_work) {
+        startEraseWork();
+        return;
+    }
+}
+
+void
+ChipAgent::startRead(PageOp op)
+{
+    busy = true;
+    inEraseSegment = false;
+    const Tick sense_done = eq.now() + nand.params().tRead;
+    const Tick xfer_start = std::max(sense_done, channel.busyUntil);
+    const Tick end = xfer_start + cfg.channelXferPerPage;
+    channel.busyUntil = end;
+    opEnd = end;
+    const auto v = version;
+    eq.scheduleAt(end, [this, v, op] { completeOp(v, op); });
+}
+
+void
+ChipAgent::startWrite(PageOp op)
+{
+    busy = true;
+    inEraseSegment = false;
+    const Tick xfer_start = std::max(eq.now(), channel.busyUntil);
+    const Tick xfer_end = xfer_start + cfg.channelXferPerPage;
+    channel.busyUntil = xfer_end;
+    const Tick tprog = op.tprog ? op.tprog : nand.params().tProg;
+    const Tick end = xfer_end + tprog;
+    opEnd = end;
+    const auto v = version;
+    eq.scheduleAt(end, [this, v, op] { completeOp(v, op); });
+}
+
+void
+ChipAgent::completeOp(std::uint64_t v, PageOp op)
+{
+    if (v != version)
+        return;  // stale (should not happen for page ops)
+    busy = false;
+    ftl.onPageOpDone(op);
+    dispatch();
+}
+
+void
+ChipAgent::startEraseWork()
+{
+    if (!erase) {
+        AERO_CHECK(!eraseQ.empty(), "no erase work to start");
+        auto [block, job] = eraseQ.front();
+        eraseQ.pop_front();
+        ActiveErase ae;
+        ae.session = scheme.begin(block);
+        ae.block = block;
+        ae.job = job;
+        erase.emplace(std::move(ae));
+    }
+    // Perform the next loop functionally; charge its duration.
+    const bool more = erase->session->nextSegment(erase->seg);
+    AERO_CHECK(more, "erase session exhausted unexpectedly");
+    busy = true;
+    inEraseSegment = true;
+    opEnd = eq.now() + erase->seg.duration;
+    metrics.eraseBusyTime += erase->seg.duration;
+    const auto v = version;
+    eq.scheduleAt(opEnd, [this, v] {
+        if (v != version)
+            return;  // segment was suspended
+        finishEraseSegment();
+    });
+}
+
+void
+ChipAgent::resumeErase()
+{
+    AERO_CHECK(erase && erase->paused, "resume without paused erase");
+    busy = true;
+    inEraseSegment = true;
+    erase->paused = false;
+    const Tick dur = cfg.suspendResumeOverhead + erase->pausedRemaining;
+    opEnd = eq.now() + dur;
+    metrics.eraseBusyTime += cfg.suspendResumeOverhead;
+    const auto v = version;
+    eq.scheduleAt(opEnd, [this, v] {
+        if (v != version)
+            return;
+        finishEraseSegment();
+    });
+}
+
+void
+ChipAgent::finishEraseSegment()
+{
+    busy = false;
+    inEraseSegment = false;
+    if (erase->seg.last) {
+        const EraseOutcome outcome = erase->session->outcome();
+        metrics.erases += 1;
+        metrics.eraseLoops += outcome.loops;
+        const BlockId block = erase->block;
+        GcJob *job = erase->job;
+        erase.reset();
+        ftl.onEraseDone(chipIdx, block, outcome, job);
+        dispatch();
+        return;
+    }
+    // The erase operation is atomic at the chip interface: continue with
+    // the next loop immediately. Queued reads get in only via suspension.
+    startEraseWork();
+}
+
+} // namespace aero

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-chip command scheduling.
+ *
+ * Each NAND chip executes one operation at a time. The agent holds
+ * priority queues (user reads > user writes > GC page ops > erase) and
+ * models channel contention for data transfers.
+ *
+ * An erase *operation* is atomic at the chip interface: once issued, its
+ * loops run back to back with no dispatch points in between (the loop
+ * staircase is chip-internal). The only preemption mechanism is erase
+ * suspension [13]: a user read arriving mid-erase suspends the operation
+ * after a voltage-quiesce entry latency, queued reads are serviced, and
+ * the erase resumes with a re-ramp penalty. Practical suspension is
+ * limited (kMaxSuspensionsPerOp, default 1): once exhausted, later reads
+ * wait for the whole remaining operation -- which is exactly why AERO's
+ * shorter erase operations shrink the read tail (Figs. 14/15).
+ */
+
+#ifndef AERO_SSD_CHIP_AGENT_HH
+#define AERO_SSD_CHIP_AGENT_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "erase/scheme.hh"
+#include "sim/event_queue.hh"
+#include "ssd/config.hh"
+#include "ssd/gc.hh"
+#include "ssd/metrics.hh"
+
+namespace aero
+{
+
+constexpr std::uint64_t kNoRequest = ~0ULL;
+
+struct PageOp
+{
+    enum class Kind : std::uint8_t { UserRead, UserWrite, GcRead, GcWrite };
+
+    Kind kind = Kind::UserRead;
+    Lpn lpn = kInvalidLpn;
+    Ppn ppn = kInvalidPpn;
+    std::uint64_t requestId = kNoRequest;
+    GcJob *job = nullptr;
+    Tick tprog = 0;   //!< program latency (scheme-dependent, writes only)
+};
+
+/** Shared channel bus: serializes page transfers of its chips. */
+struct Channel
+{
+    Tick busyUntil = 0;
+};
+
+/** Callbacks from agents into the FTL. */
+class FtlCallbacks
+{
+  public:
+    virtual ~FtlCallbacks() = default;
+    virtual void onPageOpDone(const PageOp &op) = 0;
+    virtual void onEraseDone(int chip, BlockId block,
+                             const EraseOutcome &outcome, GcJob *job) = 0;
+    /** Is the erase for `block`'s plane urgent (plane out of space)? */
+    virtual bool eraseUrgent(int chip, BlockId block) = 0;
+};
+
+class ChipAgent
+{
+  public:
+    ChipAgent(int chip_idx, NandChip &chip, EraseScheme &scheme,
+              EventQueue &eq, const SsdConfig &cfg, Channel &channel,
+              FtlCallbacks &ftl, SsdMetrics &metrics);
+
+    void enqueue(const PageOp &op);
+    void enqueueErase(BlockId block, GcJob *job);
+
+    bool idle() const;
+    std::size_t queuedOps() const;
+
+    /** Suspensions allowed per erase operation (practical limit). */
+    static constexpr int kMaxSuspensionsPerOp = 2;
+
+  private:
+    struct ActiveErase
+    {
+        std::unique_ptr<EraseSession> session;
+        BlockId block = kInvalidBlock;
+        GcJob *job = nullptr;
+        EraseSegment seg;          //!< segment currently executing/paused
+        bool paused = false;
+        Tick pausedRemaining = 0;
+        int suspensionsThisOp = 0;
+    };
+
+    void dispatch();
+    void startRead(PageOp op);
+    void startWrite(PageOp op);
+    void startEraseWork();
+    void resumeErase();
+    void finishEraseSegment();
+    void completeOp(std::uint64_t v, PageOp op);
+
+    int chipIdx;
+    NandChip &nand;
+    EraseScheme &scheme;
+    EventQueue &eq;
+    const SsdConfig &cfg;
+    Channel &channel;
+    FtlCallbacks &ftl;
+    SsdMetrics &metrics;
+
+    std::deque<PageOp> readQ;
+    std::deque<PageOp> writeQ;
+    std::deque<PageOp> gcQ;
+    std::deque<std::pair<BlockId, GcJob *>> eraseQ;
+    std::optional<ActiveErase> erase;
+
+    bool busy = false;
+    bool inEraseSegment = false;
+    Tick opEnd = 0;
+    std::uint64_t version = 0;  //!< cancels stale completion events
+};
+
+} // namespace aero
+
+#endif // AERO_SSD_CHIP_AGENT_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Simulated-SSD configuration, mirroring the paper's Table 2. Two presets:
+ * paper() is the full 1-TB drive; bench() is a topology-identical,
+ * capacity-reduced drive so the 11-workload x 3-PEC x 5-scheme sweep runs
+ * in minutes while preserving the contention behaviour that drives read
+ * tail latency (same channel/chip/plane counts, same timings, same
+ * over-provisioning ratio).
+ */
+
+#ifndef AERO_SSD_CONFIG_HH
+#define AERO_SSD_CONFIG_HH
+
+#include "erase/scheme.hh"
+#include "nand/nand_chip.hh"
+
+namespace aero
+{
+
+/** Erase-suspension policy (section 7.3 and Fig. 15). */
+enum class SuspensionMode
+{
+    None,         //!< reads wait for the ongoing erase *loop* to finish
+    MidSegment,   //!< practical erase suspension: preempt within a loop
+};
+
+struct SsdConfig
+{
+    /** @name Topology (Table 2) */
+    /** @{ */
+    int channels = 8;
+    int chipsPerChannel = 2;
+    ChipGeometry geometry{4, 497, 2112};
+    std::uint32_t pageSizeKB = 16;
+    double opRatio = 0.20;           //!< over-provisioning
+    ChipType chipType = ChipType::Tlc3d48L;
+    /** @} */
+
+    /** @name Erase scheme under test */
+    /** @{ */
+    SchemeKind scheme = SchemeKind::Baseline;
+    SchemeOptions schemeOptions;
+    /** @} */
+
+    /** @name Timing */
+    /** @{ */
+    Tick channelXferPerPage = 13 * kUs;  //!< 16 KiB over ~1.2 GB/s ONFI
+    Tick hostOverhead = 5 * kUs;         //!< NVMe/PCIe + FTL fixed cost
+    /** @} */
+
+    /** @name Scheduling */
+    /** @{ */
+    SuspensionMode suspension = SuspensionMode::MidSegment;
+    /** Time to quiesce the erase voltage before the chip is usable. */
+    Tick suspendEntryLatency = 60 * kUs;
+    Tick suspendResumeOverhead = 100 * kUs;
+    int gcLowWatermark = 3;    //!< free blocks/plane that trigger GC
+    int gcHighWatermark = 5;   //!< free blocks/plane where GC stops
+    /** @} */
+
+    /** @name Conditioning */
+    /** @{ */
+    double initialPec = 0.0;   //!< pre-age all blocks to this PEC
+    double prefillFraction = 1.0;  //!< logical space written before run
+    /**
+     * Random overwrites (fraction of logical pages) applied functionally
+     * after prefill, with inline GC, so timed runs start from a
+     * steady-state dirty drive whose planes sit at the GC watermark.
+     */
+    double warmupOverwriteFraction = 0.3;
+    std::uint64_t seed = 2024;
+    /** @} */
+
+    /** @name Derived quantities */
+    /** @{ */
+    int totalChips() const { return channels * chipsPerChannel; }
+    int blocksPerChip() const { return geometry.totalBlocks(); }
+    std::uint64_t
+    physicalPages() const
+    {
+        return static_cast<std::uint64_t>(totalChips()) *
+               blocksPerChip() * geometry.pagesPerBlock;
+    }
+    std::uint64_t
+    logicalPages() const
+    {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(physicalPages()) * (1.0 - opRatio));
+    }
+    std::uint64_t
+    capacityBytes() const
+    {
+        return logicalPages() * pageSizeKB * kKiB;
+    }
+    /** @} */
+
+    /** Full Table 2 drive: 1024 GB logical. */
+    static SsdConfig paper();
+    /** Scaled drive (~13 GB logical) for tests and benches. */
+    static SsdConfig bench();
+    /** Tiny drive for unit tests. */
+    static SsdConfig tiny();
+
+    /** Human-readable Table 2 style summary. */
+    std::string summary() const;
+};
+
+} // namespace aero
+
+#endif // AERO_SSD_CONFIG_HH

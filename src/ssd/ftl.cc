@@ -1,0 +1,397 @@
+#include "ssd/ftl.hh"
+
+#include "common/logging.hh"
+#include "core/aero_scheme.hh"
+
+namespace aero
+{
+
+Ftl::Ftl(const SsdConfig &cfg_, EventQueue &eq_)
+    : cfg(cfg_), eq(eq_),
+      mapping(cfg_.logicalPages(), cfg_.totalChips(),
+              cfg_.blocksPerChip(), cfg_.geometry.pagesPerBlock),
+      blocks(cfg_)
+{
+    const auto params = ChipParams::forType(cfg.chipType);
+    Rng seeder(cfg.seed);
+    chips.reserve(cfg.totalChips());
+    for (int i = 0; i < cfg.totalChips(); ++i) {
+        chips.emplace_back(params, cfg.geometry, seeder.next(),
+                           seeder.lognormFactor(params.chipPvSigma));
+    }
+    preAge(cfg.initialPec);
+    channels.resize(cfg.channels);
+    for (int i = 0; i < cfg.totalChips(); ++i) {
+        SchemeOptions opts = cfg.schemeOptions;
+        opts.seed = seeder.next();
+        schemes.push_back(makeEraseScheme(cfg.scheme, chips[i], opts));
+    }
+    for (int i = 0; i < cfg.totalChips(); ++i) {
+        agents.push_back(std::make_unique<ChipAgent>(
+            i, chips[i], *schemes[i], eq, cfg,
+            channels[i / cfg.chipsPerChannel], *this, stats));
+    }
+    gcJobs.resize(static_cast<std::size_t>(cfg.totalChips()) *
+                  cfg.geometry.planes);
+}
+
+Ftl::~Ftl() = default;
+
+NandChip &
+Ftl::chipAt(int i)
+{
+    AERO_CHECK(i >= 0 && i < static_cast<int>(chips.size()),
+               "chip index out of range");
+    return chips[i];
+}
+
+EraseScheme &
+Ftl::schemeAt(int i)
+{
+    return *schemes.at(i);
+}
+
+ChipAgent &
+Ftl::agentAt(int i)
+{
+    return *agents.at(i);
+}
+
+void
+Ftl::preAge(double pec)
+{
+    if (pec <= 0.0)
+        return;
+    for (auto &chip : chips) {
+        for (int b = 0; b < chip.numBlocks(); ++b)
+            chip.ageBaseline(static_cast<BlockId>(b),
+                             static_cast<int>(pec));
+    }
+}
+
+void
+Ftl::prefill()
+{
+    const auto total = static_cast<Lpn>(
+        static_cast<double>(cfg.logicalPages()) * cfg.prefillFraction);
+    for (Lpn lpn = 0; lpn < total; ++lpn) {
+        const int tries = cfg.totalChips() * cfg.geometry.planes;
+        bool placed = false;
+        for (int t = 0; t < tries && !placed; ++t) {
+            const int key = (writePointer + t) % tries;
+            const int chip = key / cfg.geometry.planes;
+            const int plane = key % cfg.geometry.planes;
+            // Keep the GC headroom: never prefill below the high mark.
+            if (blocks.freeBlocks(chip, plane) <= cfg.gcHighWatermark)
+                continue;
+            BlockId blk;
+            int page;
+            if (!blocks.allocate(chip, plane, blk, page))
+                continue;
+            mapping.update(lpn, mapping.encode(chip, blk, page));
+            chips[chip].programPage(blk);
+            placed = true;
+            writePointer = (key + 1) % tries;
+        }
+        if (!placed) {
+            AERO_WARN("prefill stopped early at LPN ", lpn, " of ", total);
+            break;
+        }
+    }
+}
+
+void
+Ftl::warmup(std::uint64_t overwrites)
+{
+    Rng rng(cfg.seed ^ 0x3a3aULL);
+    const auto span = static_cast<Lpn>(
+        static_cast<double>(cfg.logicalPages()) * cfg.prefillFraction);
+    if (span == 0)
+        return;
+    const int tries = cfg.totalChips() * cfg.geometry.planes;
+    for (std::uint64_t i = 0; i < overwrites; ++i) {
+        const Lpn lpn = rng.below(span);
+        bool placed = false;
+        for (int t = 0; t < tries && !placed; ++t) {
+            const int key = (writePointer + t) % tries;
+            const int chip = key / cfg.geometry.planes;
+            const int plane = key % cfg.geometry.planes;
+            BlockId blk;
+            int page;
+            if (!blocks.allocate(chip, plane, blk, page))
+                continue;
+            writePointer = (key + 1) % tries;
+            mapping.update(lpn, mapping.encode(chip, blk, page));
+            chips[chip].programPage(blk);
+            placed = true;
+            if (blocks.freeBlocks(chip, plane) <= cfg.gcLowWatermark)
+                functionalGc(chip, plane);
+        }
+        AERO_CHECK(placed, "warmup could not place a write");
+    }
+}
+
+void
+Ftl::functionalGc(int chip, int plane)
+{
+    // Inline, timing-free GC used only during warmup.
+    while (blocks.freeBlocks(chip, plane) <= cfg.gcLowWatermark) {
+        const BlockId victim =
+            GreedyGcPolicy::pickVictim(mapping, blocks, chip, plane);
+        if (victim == kInvalidBlock)
+            return;
+        if (mapping.validPages(chip, victim) >=
+            cfg.geometry.pagesPerBlock) {
+            return;  // nothing reclaimable yet: all pages still live
+        }
+        for (int p = 0; p < cfg.geometry.pagesPerBlock; ++p) {
+            const Ppn ppn = mapping.encode(chip, victim, p);
+            const Lpn lpn = mapping.reverseLookup(ppn);
+            if (lpn == kInvalidLpn)
+                continue;
+            // Relocate within the plane (other blocks have room: the
+            // victim frees at least as many pages as it consumes).
+            BlockId dst;
+            int dpage;
+            bool ok = blocks.allocate(chip, plane, dst, dpage, true);
+            AERO_CHECK(ok && dst != victim,
+                       "warmup GC ran out of destination space");
+            mapping.update(lpn, mapping.encode(chip, dst, dpage));
+            chips[chip].programPage(dst);
+        }
+        eraseNow(*schemes[chip], victim);
+        mapping.onBlockErased(chip, victim);
+        blocks.onBlockErased(chip, victim);
+        warmupEraseCount += 1;
+    }
+}
+
+void
+Ftl::submit(const TraceRecord &rec)
+{
+    const std::uint64_t id = nextRequestId++;
+    inflight.emplace(id, InflightRequest{rec.op, eq.now(), rec.pages});
+    for (std::uint32_t i = 0; i < rec.pages; ++i) {
+        const Lpn lpn = (rec.startPage + i) % mapping.logicalPages();
+        if (rec.op == IoOp::Read) {
+            submitReadPage(lpn, id);
+        } else {
+            if (!submitWritePage(lpn, id))
+                stalledWrites.push_back(StalledWrite{lpn, id});
+        }
+    }
+}
+
+void
+Ftl::submitReadPage(Lpn lpn, std::uint64_t request_id)
+{
+    const Ppn ppn = mapping.lookup(lpn);
+    if (ppn == kInvalidPpn) {
+        // Never-written page: the controller answers from the mapping
+        // table without touching flash.
+        stats.unmappedReads += 1;
+        eq.schedule(cfg.hostOverhead,
+                    [this, request_id] { completeRequestPage(request_id); });
+        return;
+    }
+    const auto parts = mapping.decode(ppn);
+    PageOp op;
+    op.kind = PageOp::Kind::UserRead;
+    op.lpn = lpn;
+    op.ppn = ppn;
+    op.requestId = request_id;
+    agents[parts.chip]->enqueue(op);
+}
+
+bool
+Ftl::submitWritePage(Lpn lpn, std::uint64_t request_id)
+{
+    const int tries = cfg.totalChips() * cfg.geometry.planes;
+    for (int t = 0; t < tries; ++t) {
+        const int key = (writePointer + t) % tries;
+        const int chip = key / cfg.geometry.planes;
+        const int plane = key % cfg.geometry.planes;
+        BlockId blk;
+        int page;
+        if (!blocks.allocate(chip, plane, blk, page))
+            continue;
+        writePointer = (key + 1) % tries;
+        const Ppn ppn = mapping.encode(chip, blk, page);
+        mapping.update(lpn, ppn);
+        chips[chip].programPage(blk);  // functional effect at issue
+        PageOp op;
+        op.kind = PageOp::Kind::UserWrite;
+        op.lpn = lpn;
+        op.ppn = ppn;
+        op.requestId = request_id;
+        op.tprog = schemes[chip]->programLatency(blk);
+        agents[chip]->enqueue(op);
+        maybeStartGc(chip, plane);
+        return true;
+    }
+    return false;
+}
+
+void
+Ftl::completeRequestPage(std::uint64_t request_id)
+{
+    auto it = inflight.find(request_id);
+    AERO_CHECK(it != inflight.end(), "completion for unknown request");
+    auto &req = it->second;
+    AERO_CHECK(req.remaining > 0, "request page over-completion");
+    if (--req.remaining == 0) {
+        const Tick latency = eq.now() - req.arrival + cfg.hostOverhead;
+        if (req.op == IoOp::Read) {
+            stats.reads += 1;
+            stats.readLatency.add(latency);
+        } else {
+            stats.writes += 1;
+            stats.writeLatency.add(latency);
+        }
+        inflight.erase(it);
+    }
+}
+
+void
+Ftl::onPageOpDone(const PageOp &op)
+{
+    switch (op.kind) {
+      case PageOp::Kind::UserRead:
+      case PageOp::Kind::UserWrite:
+        completeRequestPage(op.requestId);
+        break;
+      case PageOp::Kind::GcRead:
+        // The victim page may have been overwritten while the read was
+        // queued; only relocate pages that are still live.
+        if (mapping.reverseLookup(op.ppn) != kInvalidLpn)
+            issueGcWrite(op.job, mapping.reverseLookup(op.ppn));
+        else
+            gcStep(op.job);
+        break;
+      case PageOp::Kind::GcWrite:
+        stats.gcMigratedPages += 1;
+        op.job->migrated += 1;
+        gcStep(op.job);
+        break;
+    }
+}
+
+void
+Ftl::issueGcWrite(GcJob *job, Lpn lpn)
+{
+    // Relocate within the victim's plane when possible, falling back to
+    // any plane with space (cross-plane copyback via the controller).
+    const int tries = cfg.totalChips() * cfg.geometry.planes;
+    const int preferred = job->chip * cfg.geometry.planes + job->plane;
+    for (int t = 0; t < tries; ++t) {
+        const int key = (preferred + t) % tries;
+        const int chip = key / cfg.geometry.planes;
+        const int plane = key % cfg.geometry.planes;
+        BlockId blk;
+        int page;
+        if (!blocks.allocate(chip, plane, blk, page, true))
+            continue;
+        const Ppn ppn = mapping.encode(chip, blk, page);
+        mapping.update(lpn, ppn);
+        chips[chip].programPage(blk);
+        PageOp op;
+        op.kind = PageOp::Kind::GcWrite;
+        op.lpn = lpn;
+        op.ppn = ppn;
+        op.job = job;
+        op.tprog = schemes[chip]->programLatency(blk);
+        agents[chip]->enqueue(op);
+        return;
+    }
+    AERO_PANIC("GC found no destination page; drive wedged");
+}
+
+void
+Ftl::maybeStartGc(int chip, int plane)
+{
+    if (blocks.freeBlocks(chip, plane) > cfg.gcLowWatermark)
+        return;
+    auto &slot = gcJobs[planeKey(chip, plane)];
+    if (slot)
+        return;  // a job is already running on this plane
+    const BlockId victim =
+        GreedyGcPolicy::pickVictim(mapping, blocks, chip, plane);
+    if (victim == kInvalidBlock)
+        return;
+    slot = std::make_unique<GcJob>();
+    slot->chip = chip;
+    slot->plane = plane;
+    slot->victim = victim;
+    activeGcJobs += 1;
+    stats.gcInvocations += 1;
+    gcStep(slot.get());
+}
+
+void
+Ftl::gcStep(GcJob *job)
+{
+    // Advance the scan cursor to the next still-valid page and read it.
+    const int pages = cfg.geometry.pagesPerBlock;
+    while (job->nextPage < pages) {
+        const Ppn ppn =
+            mapping.encode(job->chip, job->victim, job->nextPage);
+        job->nextPage += 1;
+        if (mapping.reverseLookup(ppn) != kInvalidLpn) {
+            PageOp op;
+            op.kind = PageOp::Kind::GcRead;
+            op.ppn = ppn;
+            op.job = job;
+            agents[job->chip]->enqueue(op);
+            return;
+        }
+    }
+    if (!job->eraseIssued) {
+        job->eraseIssued = true;
+        agents[job->chip]->enqueueErase(job->victim, job);
+    }
+}
+
+void
+Ftl::onEraseDone(int chip, BlockId block, const EraseOutcome &outcome,
+                 GcJob *job)
+{
+    (void)outcome;
+    mapping.onBlockErased(chip, block);
+    blocks.onBlockErased(chip, block);
+    if (job) {
+        AERO_CHECK(job->victim == block, "GC job / erase mismatch");
+        auto &slot = gcJobs[planeKey(chip, job->plane)];
+        AERO_CHECK(slot.get() == job, "GC job slot mismatch");
+        slot.reset();
+        activeGcJobs -= 1;
+        retryStalledWrites();
+        maybeStartGc(chip, blocks.planeOf(block));
+    }
+}
+
+bool
+Ftl::eraseUrgent(int chip, BlockId block)
+{
+    const int plane = blocks.planeOf(block);
+    return blocks.freeBlocks(chip, plane) == 0 ||
+           !stalledWrites.empty();
+}
+
+void
+Ftl::retryStalledWrites()
+{
+    std::deque<StalledWrite> pending;
+    pending.swap(stalledWrites);
+    for (auto &w : pending) {
+        if (!submitWritePage(w.lpn, w.requestId))
+            stalledWrites.push_back(w);
+    }
+}
+
+std::size_t
+Ftl::planeKey(int chip, int plane) const
+{
+    return static_cast<std::size_t>(chip) * cfg.geometry.planes + plane;
+}
+
+} // namespace aero

@@ -1,0 +1,22 @@
+#include "ssd/gc.hh"
+
+namespace aero
+{
+
+BlockId
+GreedyGcPolicy::pickVictim(const PageMapping &mapping,
+                           const BlockManager &blocks, int chip, int plane)
+{
+    BlockId best = kInvalidBlock;
+    int best_valid = 0x7fffffff;
+    for (const BlockId b : blocks.fullBlocks(chip, plane)) {
+        const int valid = mapping.validPages(chip, b);
+        if (valid < best_valid) {
+            best_valid = valid;
+            best = b;
+        }
+    }
+    return best;
+}
+
+} // namespace aero

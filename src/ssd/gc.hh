@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Greedy garbage collection (the paper's Table 2 GC policy [77]): the
+ * victim is the full block with the fewest valid pages in the plane that
+ * fell below the free-block watermark. The migration/erase orchestration
+ * lives in the FTL; this module holds the policy and job bookkeeping.
+ */
+
+#ifndef AERO_SSD_GC_HH
+#define AERO_SSD_GC_HH
+
+#include "ssd/block_manager.hh"
+#include "ssd/mapping.hh"
+
+namespace aero
+{
+
+/** One in-flight GC operation on a plane. */
+struct GcJob
+{
+    int chip = -1;
+    int plane = -1;
+    BlockId victim = kInvalidBlock;
+    int nextPage = 0;       //!< scan cursor over the victim's pages
+    int migrated = 0;       //!< pages actually copied
+    bool eraseIssued = false;
+};
+
+class GreedyGcPolicy
+{
+  public:
+    /**
+     * Pick the full block with the fewest valid pages.
+     * @return kInvalidBlock when the plane has no full blocks.
+     */
+    static BlockId pickVictim(const PageMapping &mapping,
+                              const BlockManager &blocks, int chip,
+                              int plane);
+};
+
+} // namespace aero
+
+#endif // AERO_SSD_GC_HH

@@ -1,0 +1,118 @@
+#include "ssd/mapping.hh"
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+PageMapping::PageMapping(std::uint64_t logical_pages, int chips_,
+                         int blocks_per_chip, int pages_per_block)
+    : chips(chips_), blocksPerChip(blocks_per_chip),
+      pagesPerBlock(pages_per_block),
+      l2p(logical_pages, kInvalidPpn),
+      p2l(static_cast<std::size_t>(chips_) * blocks_per_chip *
+              pages_per_block,
+          kInvalidLpn),
+      validCount(static_cast<std::size_t>(chips_) * blocks_per_chip, 0)
+{
+    AERO_CHECK(logical_pages <= p2l.size(),
+               "logical space exceeds physical space");
+}
+
+Ppn
+PageMapping::lookup(Lpn lpn) const
+{
+    AERO_CHECK(lpn < l2p.size(), "LPN out of range: ", lpn);
+    return l2p[lpn];
+}
+
+Lpn
+PageMapping::reverseLookup(Ppn ppn) const
+{
+    AERO_CHECK(ppn < p2l.size(), "PPN out of range: ", ppn);
+    return p2l[ppn];
+}
+
+Ppn
+PageMapping::update(Lpn lpn, Ppn ppn)
+{
+    AERO_CHECK(lpn < l2p.size(), "LPN out of range: ", lpn);
+    AERO_CHECK(ppn < p2l.size(), "PPN out of range: ", ppn);
+    AERO_CHECK(p2l[ppn] == kInvalidLpn,
+               "programming a PPN that is still mapped: ", ppn);
+    const Ppn old = l2p[lpn];
+    if (old != kInvalidPpn) {
+        const auto parts = decode(old);
+        p2l[old] = kInvalidLpn;
+        validCount[blockIndex(parts.chip, parts.block)] -= 1;
+        AERO_CHECK(validCount[blockIndex(parts.chip, parts.block)] >= 0,
+                   "negative valid count");
+    } else {
+        ++mapped;
+    }
+    l2p[lpn] = ppn;
+    p2l[ppn] = lpn;
+    const auto parts = decode(ppn);
+    validCount[blockIndex(parts.chip, parts.block)] += 1;
+    return old;
+}
+
+void
+PageMapping::invalidateLpn(Lpn lpn)
+{
+    AERO_CHECK(lpn < l2p.size(), "LPN out of range: ", lpn);
+    const Ppn old = l2p[lpn];
+    if (old == kInvalidPpn)
+        return;
+    const auto parts = decode(old);
+    p2l[old] = kInvalidLpn;
+    validCount[blockIndex(parts.chip, parts.block)] -= 1;
+    l2p[lpn] = kInvalidPpn;
+    --mapped;
+}
+
+int
+PageMapping::validPages(int chip, BlockId block) const
+{
+    return validCount[blockIndex(chip, block)];
+}
+
+void
+PageMapping::onBlockErased(int chip, BlockId block)
+{
+    AERO_CHECK(validPages(chip, block) == 0,
+               "erasing a block with valid pages");
+    // Clear any stale reverse entries (invalid pages).
+    const Ppn base = encode(chip, block, 0);
+    for (int p = 0; p < pagesPerBlock; ++p)
+        p2l[base + p] = kInvalidLpn;
+}
+
+Ppn
+PageMapping::encode(int chip, BlockId block, int page) const
+{
+    return (static_cast<Ppn>(chip) * blocksPerChip + block) *
+               pagesPerBlock + page;
+}
+
+PpnParts
+PageMapping::decode(Ppn ppn) const
+{
+    PpnParts parts;
+    parts.page = static_cast<int>(ppn % pagesPerBlock);
+    const Ppn blk = ppn / pagesPerBlock;
+    parts.block = static_cast<BlockId>(blk % blocksPerChip);
+    parts.chip = static_cast<int>(blk / blocksPerChip);
+    return parts;
+}
+
+std::size_t
+PageMapping::blockIndex(int chip, BlockId block) const
+{
+    AERO_CHECK(chip >= 0 && chip < chips, "chip out of range");
+    AERO_CHECK(block < static_cast<BlockId>(blocksPerChip),
+               "block out of range");
+    return static_cast<std::size_t>(chip) * blocksPerChip + block;
+}
+
+} // namespace aero

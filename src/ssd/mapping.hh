@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Page-level logical-to-physical mapping (the conventional page-level FTL
+ * the paper extends, after DFTL [70] but with the full table resident, as
+ * in modern DRAM-backed SSDs).
+ *
+ * A PPN encodes (chip, chip-local block, page):
+ *   ppn = (chip * blocksPerChip + block) * pagesPerBlock + page.
+ */
+
+#ifndef AERO_SSD_MAPPING_HH
+#define AERO_SSD_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aero
+{
+
+struct PpnParts
+{
+    int chip;
+    BlockId block;  //!< chip-local block id
+    int page;
+};
+
+class PageMapping
+{
+  public:
+    PageMapping(std::uint64_t logical_pages, int chips, int blocks_per_chip,
+                int pages_per_block);
+
+    std::uint64_t logicalPages() const { return l2p.size(); }
+
+    /** Current physical location of a logical page (kInvalidPpn if none). */
+    Ppn lookup(Lpn lpn) const;
+
+    /** Logical owner of a physical page (kInvalidLpn if free/invalid). */
+    Lpn reverseLookup(Ppn ppn) const;
+
+    bool isValid(Ppn ppn) const { return reverseLookup(ppn) != kInvalidLpn; }
+
+    /**
+     * Map `lpn` to `ppn`, invalidating any previous location.
+     * @return the invalidated old PPN, or kInvalidPpn.
+     */
+    Ppn update(Lpn lpn, Ppn ppn);
+
+    /** Drop the mapping of a logical page (TRIM). */
+    void invalidateLpn(Lpn lpn);
+
+    /** Valid-page count of a chip-local block of a chip. */
+    int validPages(int chip, BlockId block) const;
+
+    /** Called by the block manager when a block is erased. */
+    void onBlockErased(int chip, BlockId block);
+
+    /** @name PPN encoding */
+    /** @{ */
+    Ppn encode(int chip, BlockId block, int page) const;
+    PpnParts decode(Ppn ppn) const;
+    /** @} */
+
+    std::uint64_t mappedCount() const { return mapped; }
+
+  private:
+    std::size_t blockIndex(int chip, BlockId block) const;
+
+    int chips;
+    int blocksPerChip;
+    int pagesPerBlock;
+    std::vector<Ppn> l2p;
+    std::vector<Lpn> p2l;
+    std::vector<std::int32_t> validCount;  //!< per (chip, block)
+    std::uint64_t mapped = 0;
+};
+
+} // namespace aero
+
+#endif // AERO_SSD_MAPPING_HH

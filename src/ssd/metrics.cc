@@ -1,0 +1,25 @@
+#include "ssd/metrics.hh"
+
+#include <sstream>
+
+namespace aero
+{
+
+std::string
+SsdMetrics::summary() const
+{
+    std::ostringstream os;
+    os << "reads " << reads << " (avg "
+       << readLatency.mean() / static_cast<double>(kUs) << " us, p99.99 "
+       << ticksToUs(readLatency.percentile(0.9999)) << " us, p99.9999 "
+       << ticksToUs(readLatency.percentile(0.999999)) << " us)\n"
+       << "writes " << writes << " (avg "
+       << writeLatency.mean() / static_cast<double>(kUs) << " us)\n"
+       << "IOPS " << iops() << ", WA " << writeAmplification() << "\n"
+       << "erases " << erases << " (avg " << avgEraseLatencyMs()
+       << " ms, " << eraseSuspensions << " suspensions), GC "
+       << gcInvocations << " jobs / " << gcMigratedPages << " pages\n";
+    return os.str();
+}
+
+} // namespace aero

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Run metrics: per-op latency distributions (exact percentiles for the
+ * paper's 99.99th / 99.9999th tail figures), IOPS, and erase/GC counters.
+ */
+
+#ifndef AERO_SSD_METRICS_HH
+#define AERO_SSD_METRICS_HH
+
+#include <string>
+
+#include "stats/percentile.hh"
+#include "common/types.hh"
+
+namespace aero
+{
+
+struct SsdMetrics
+{
+    PercentileTracker readLatency;   //!< ns, completed user reads
+    PercentileTracker writeLatency;  //!< ns, completed user writes
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t unmappedReads = 0;
+
+    std::uint64_t erases = 0;
+    std::uint64_t eraseLoops = 0;
+    Tick eraseBusyTime = 0;      //!< total chip time spent erasing
+    std::uint64_t eraseSuspensions = 0;
+
+    std::uint64_t gcInvocations = 0;
+    std::uint64_t gcMigratedPages = 0;
+
+    Tick simulatedTime = 0;
+
+    double
+    iops() const
+    {
+        if (simulatedTime == 0)
+            return 0.0;
+        return static_cast<double>(reads + writes) /
+               (static_cast<double>(simulatedTime) /
+                static_cast<double>(kSec));
+    }
+
+    double
+    avgEraseLatencyMs() const
+    {
+        if (erases == 0)
+            return 0.0;
+        return ticksToMs(eraseBusyTime) / static_cast<double>(erases);
+    }
+
+    /** Write amplification: (user + GC writes) / user writes. */
+    double
+    writeAmplification() const
+    {
+        if (writes == 0)
+            return 0.0;
+        return static_cast<double>(writes + gcMigratedPages) /
+               static_cast<double>(writes);
+    }
+
+    std::string summary() const;
+};
+
+} // namespace aero
+
+#endif // AERO_SSD_METRICS_HH

@@ -1,0 +1,56 @@
+#include "ssd/ssd.hh"
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+Ssd::Ssd(const SsdConfig &cfg_) : cfg(cfg_)
+{
+    ftlImpl = std::make_unique<Ftl>(cfg, eq);
+    if (cfg.prefillFraction > 0.0) {
+        ftlImpl->prefill();
+        const auto overwrites = static_cast<std::uint64_t>(
+            static_cast<double>(cfg.logicalPages()) *
+            cfg.warmupOverwriteFraction);
+        ftlImpl->warmup(overwrites);
+    }
+}
+
+void
+Ssd::run(const Trace &trace)
+{
+    run(trace, kTickMax);
+}
+
+void
+Ssd::run(const Trace &trace, Tick deadline)
+{
+    if (trace.empty())
+        return;
+    // Feed arrivals incrementally: each arrival event submits its record
+    // and schedules the next one, keeping the queue small. The queue is
+    // always drained before returning (the deadline only stops *new*
+    // arrivals), so the self-referencing pump callback cannot dangle.
+    const Tick base = eq.now();
+    auto cursor = std::make_shared<std::size_t>(0);
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [this, &trace, cursor, base, deadline, weak =
+             std::weak_ptr<std::function<void()>>(pump)] {
+        const auto i = (*cursor)++;
+        ftlImpl->submit(trace[i]);
+        if (*cursor < trace.size() && eq.now() < deadline) {
+            const Tick next = base + trace[*cursor].arrival;
+            auto self = weak.lock();
+            AERO_CHECK(self, "trace pump expired early");
+            eq.scheduleAt(next < eq.now() ? eq.now() : next, *self);
+        }
+    };
+    eq.scheduleAt(base + trace.front().arrival, *pump);
+    eq.run();
+    AERO_CHECK(ftlImpl->drained(), "event queue drained with in-flight "
+               "requests: FTL lost a completion");
+    metrics().simulatedTime = eq.now();
+}
+
+} // namespace aero

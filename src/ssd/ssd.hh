@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Top-level simulated SSD: owns the event queue and the FTL, replays
+ * traces, and exposes run metrics. This is the library's main entry point
+ * for system-level experiments (see examples/quickstart.cpp).
+ */
+
+#ifndef AERO_SSD_SSD_HH
+#define AERO_SSD_SSD_HH
+
+#include <memory>
+
+#include "ssd/ftl.hh"
+
+namespace aero
+{
+
+class Ssd
+{
+  public:
+    /**
+     * Build a drive: constructs chips, pre-ages them to cfg.initialPec,
+     * and prefills the logical space to steady state.
+     */
+    explicit Ssd(const SsdConfig &cfg);
+
+    /**
+     * Replay a trace to completion (all requests serviced). Can be called
+     * repeatedly; time continues monotonically.
+     */
+    void run(const Trace &trace);
+
+    /** Replay and also force-quiesce after `deadline` of simulated time. */
+    void run(const Trace &trace, Tick deadline);
+
+    SsdMetrics &metrics() { return ftlImpl->metrics(); }
+    Ftl &ftl() { return *ftlImpl; }
+    EventQueue &eventQueue() { return eq; }
+    const SsdConfig &config() const { return cfg; }
+
+  private:
+    SsdConfig cfg;
+    EventQueue eq;
+    std::unique_ptr<Ftl> ftlImpl;
+};
+
+} // namespace aero
+
+#endif // AERO_SSD_SSD_HH

@@ -1,0 +1,80 @@
+#include "stats/cdf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+void
+Cdf::ensureSorted() const
+{
+    if (dirty) {
+        std::sort(samples.begin(), samples.end());
+        dirty = false;
+    }
+}
+
+double
+Cdf::fractionAtOrBelow(double x) const
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it = std::upper_bound(samples.begin(), samples.end(), x);
+    return static_cast<double>(it - samples.begin()) /
+           static_cast<double>(samples.size());
+}
+
+double
+Cdf::quantile(double q) const
+{
+    AERO_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+    AERO_CHECK(!samples.empty(), "quantile of empty CDF");
+    ensureSorted();
+    const auto n = samples.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return samples[rank - 1];
+}
+
+double
+Cdf::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : samples)
+        s += v;
+    return s / static_cast<double>(samples.size());
+}
+
+double
+Cdf::stddev() const
+{
+    if (samples.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : samples)
+        s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples.size() - 1));
+}
+
+std::vector<double>
+Cdf::evaluateAt(const std::vector<double> &xs) const
+{
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs)
+        out.push_back(fractionAtOrBelow(x));
+    return out;
+}
+
+} // namespace aero

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Empirical CDF builder for the characterization figures (e.g. the
+ * cumulative distribution of mtBERS across blocks, Fig. 4).
+ */
+
+#ifndef AERO_STATS_CDF_HH
+#define AERO_STATS_CDF_HH
+
+#include <vector>
+
+namespace aero
+{
+
+class Cdf
+{
+  public:
+    Cdf() = default;
+
+    void add(double v) { samples.push_back(v); dirty = true; }
+
+    std::size_t count() const { return samples.size(); }
+
+    /** Fraction of samples <= x. */
+    double fractionAtOrBelow(double x) const;
+
+    /** Value at quantile q in [0, 1] (nearest rank). */
+    double quantile(double q) const;
+
+    double mean() const;
+    double stddev() const;
+
+    /** Evaluate the CDF at each of the given x positions. */
+    std::vector<double> evaluateAt(const std::vector<double> &xs) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples;
+    mutable bool dirty = false;
+};
+
+} // namespace aero
+
+#endif // AERO_STATS_CDF_HH

@@ -1,0 +1,63 @@
+#include "stats/histogram.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+Histogram::Histogram(double lo_, double bin_width, std::size_t num_bins)
+    : lo(lo_), width(bin_width), bins(num_bins, 0)
+{
+    AERO_CHECK(bin_width > 0.0, "bin width must be positive");
+    AERO_CHECK(num_bins > 0, "need at least one bin");
+}
+
+void
+Histogram::add(double v, std::uint64_t weight)
+{
+    totalCount += weight;
+    if (v < lo) {
+        under += weight;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>((v - lo) / width);
+    if (idx >= bins.size()) {
+        over += weight;
+        return;
+    }
+    bins[idx] += weight;
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    return static_cast<double>(bins.at(i)) /
+           static_cast<double>(totalCount);
+}
+
+double
+Histogram::binLeft(std::size_t i) const
+{
+    AERO_CHECK(i < bins.size(), "bin index out of range");
+    return lo + width * static_cast<double>(i);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return binLeft(i) + width / 2.0;
+}
+
+void
+Histogram::clear()
+{
+    for (auto &b : bins)
+        b = 0;
+    under = over = totalCount = 0;
+}
+
+} // namespace aero

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-width histogram used by the characterization experiments
+ * (e.g. the F(0) distributions of Fig. 9).
+ */
+
+#ifndef AERO_STATS_HISTOGRAM_HH
+#define AERO_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace aero
+{
+
+class Histogram
+{
+  public:
+    /**
+     * @param lo        inclusive lower bound of the first bin
+     * @param bin_width width of each bin (> 0)
+     * @param num_bins  number of regular bins; values past the end land in
+     *                  a dedicated overflow bin, values below lo in an
+     *                  underflow bin
+     */
+    Histogram(double lo, double bin_width, std::size_t num_bins);
+
+    void add(double v, std::uint64_t weight = 1);
+
+    std::size_t numBins() const { return bins.size(); }
+    std::uint64_t binCount(std::size_t i) const { return bins.at(i); }
+    std::uint64_t underflow() const { return under; }
+    std::uint64_t overflow() const { return over; }
+    std::uint64_t total() const { return totalCount; }
+
+    /** Fraction of all samples (incl. under/overflow) in bin i. */
+    double binFraction(std::size_t i) const;
+
+    /** Left edge of bin i. */
+    double binLeft(std::size_t i) const;
+    /** Center of bin i. */
+    double binCenter(std::size_t i) const;
+
+    void clear();
+
+  private:
+    double lo;
+    double width;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t totalCount = 0;
+};
+
+} // namespace aero
+
+#endif // AERO_STATS_HISTOGRAM_HH

@@ -1,0 +1,64 @@
+#include "stats/percentile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+double
+PercentileTracker::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    return sum / static_cast<double>(samples.size());
+}
+
+std::uint64_t
+PercentileTracker::percentile(double p) const
+{
+    AERO_CHECK(p >= 0.0 && p <= 1.0, "percentile p out of range: ", p);
+    if (samples.empty())
+        return 0;
+    ensureSorted();
+    if (p <= 0.0)
+        return samples.front();
+    const auto n = samples.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return samples[rank - 1];
+}
+
+std::uint64_t
+PercentileTracker::min() const
+{
+    if (samples.empty())
+        return 0;
+    ensureSorted();
+    return samples.front();
+}
+
+void
+PercentileTracker::clear()
+{
+    samples.clear();
+    sorted = false;
+    sum = 0.0;
+}
+
+void
+PercentileTracker::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+} // namespace aero

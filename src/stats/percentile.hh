@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Exact percentile tracking for latency distributions.
+ *
+ * Read tail latency is the paper's headline performance metric (99.99th and
+ * 99.9999th percentiles, Fig. 14). Those extreme quantiles are hostile to
+ * sketching, so we record every sample and compute exact order statistics
+ * with nth_element on demand.
+ */
+
+#ifndef AERO_STATS_PERCENTILE_HH
+#define AERO_STATS_PERCENTILE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace aero
+{
+
+class PercentileTracker
+{
+  public:
+    PercentileTracker() = default;
+
+    void reserve(std::size_t n) { samples.reserve(n); }
+
+    void
+    add(std::uint64_t v)
+    {
+        samples.push_back(v);
+        sum += v;
+        sorted = false;
+    }
+
+    std::size_t count() const { return samples.size(); }
+
+    /** Arithmetic mean; 0 for an empty tracker. */
+    double mean() const;
+
+    /**
+     * Exact p-quantile (p in [0, 1]) using the nearest-rank method the
+     * storage literature uses for tail latencies: the ceil(p*N)-th smallest
+     * sample. p = 1 returns the maximum.
+     */
+    std::uint64_t percentile(double p) const;
+
+    std::uint64_t max() const { return percentile(1.0); }
+    std::uint64_t min() const;
+
+    void clear();
+
+    /** Direct access for CDF building. */
+    const std::vector<std::uint64_t> &values() const { return samples; }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<std::uint64_t> samples;
+    mutable bool sorted = false;
+    double sum = 0.0;
+};
+
+} // namespace aero
+
+#endif // AERO_STATS_PERCENTILE_HH

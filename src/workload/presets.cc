@@ -1,0 +1,38 @@
+#include "workload/presets.hh"
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+const std::vector<WorkloadSpec> &
+table3Workloads()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        // name     source     read   KB    inter-ms  msrc
+        {"ali.A",  "ali_32",   0.07, 54.0,  16.3,  false},
+        {"ali.B",  "ali_3",    0.52, 26.0, 111.8,  false},
+        {"ali.C",  "ali_12",   0.69, 38.0,  57.9,  false},
+        {"ali.D",  "ali_121",  0.78, 18.0,  13.8,  false},
+        {"ali.E",  "ali_124",  0.95, 36.0,   5.1,  false},
+        {"rsrch",  "rsrch_0",  0.09,  9.0, 421.9,  true},
+        {"stg",    "stg_0",    0.15, 12.0, 297.8,  true},
+        {"hm",     "hm_0",     0.36,  8.0, 151.5,  true},
+        {"prxy",   "prxy_1",   0.65, 13.0,   3.6,  true},
+        {"proj",   "proj_2",   0.88, 42.0,  20.6,  true},
+        {"usr",    "usr_1",    0.91, 49.0,  13.4,  true},
+    };
+    return specs;
+}
+
+const WorkloadSpec &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : table3Workloads()) {
+        if (w.name == name || w.sourceTrace == name)
+            return w;
+    }
+    AERO_FATAL("unknown workload: ", name);
+}
+
+} // namespace aero

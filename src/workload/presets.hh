@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The eleven evaluation workloads of the paper's Table 3: five Alibaba
+ * cloud block traces and six MSR Cambridge enterprise traces. We carry
+ * their published aggregate characteristics (read ratio, mean request
+ * size, mean inter-arrival time); the synthetic generator reproduces
+ * these moments. Following the paper (and much prior work), MSRC
+ * inter-arrival times are accelerated 10x at generation time.
+ */
+
+#ifndef AERO_WORKLOAD_PRESETS_HH
+#define AERO_WORKLOAD_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+namespace aero
+{
+
+struct WorkloadSpec
+{
+    std::string name;          //!< paper abbreviation (ali.A, rsrch, ...)
+    std::string sourceTrace;   //!< original trace name
+    double readRatio;          //!< fraction of read requests
+    double avgReqSizeKB;       //!< mean request size
+    double interArrivalMs;     //!< mean inter-arrival as published
+    bool msrc;                 //!< MSRC trace: 10x accelerated
+
+    /** Inter-arrival actually used for generation/evaluation. */
+    double
+    effectiveInterArrivalMs() const
+    {
+        return msrc ? interArrivalMs / 10.0 : interArrivalMs;
+    }
+};
+
+/** All Table 3 workloads, in the paper's order. */
+const std::vector<WorkloadSpec> &table3Workloads();
+
+/** Look up a workload by its abbreviation; fatal if unknown. */
+const WorkloadSpec &workloadByName(const std::string &name);
+
+} // namespace aero
+
+#endif // AERO_WORKLOAD_PRESETS_HH

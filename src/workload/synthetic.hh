@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Synthetic trace generation matched to a WorkloadSpec's aggregate
+ * statistics: Poisson arrivals at the spec's (accelerated) rate, request
+ * sizes drawn log-normally around the spec's mean, Zipfian spatial
+ * locality for both reads and hot writes, plus sequential write runs --
+ * the mix that drives realistic GC invalidation patterns.
+ */
+
+#ifndef AERO_WORKLOAD_SYNTHETIC_HH
+#define AERO_WORKLOAD_SYNTHETIC_HH
+
+#include "workload/presets.hh"
+#include "workload/trace.hh"
+
+namespace aero
+{
+
+struct SyntheticConfig
+{
+    WorkloadSpec spec;
+    std::uint64_t footprintPages = 1 << 20;  //!< logical pages touched
+    std::uint32_t pageSizeKB = 16;
+    std::uint64_t numRequests = 100000;
+    std::uint64_t seed = 99;
+    double zipfTheta = 0.9;          //!< skew of the hot set
+    double seqWriteFraction = 0.35;  //!< writes that extend a seq. stream
+    /** Additional arrival-rate multiplier (1 = spec rate). */
+    double intensityScale = 1.0;
+};
+
+Trace generateTrace(const SyntheticConfig &cfg);
+
+} // namespace aero
+
+#endif // AERO_WORKLOAD_SYNTHETIC_HH

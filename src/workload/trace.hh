@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Block-I/O trace representation. The logical address unit is one flash
+ * page (16 KiB in the paper's SSD configuration); sub-page requests are
+ * rounded up, matching how the FTL services them.
+ */
+
+#ifndef AERO_WORKLOAD_TRACE_HH
+#define AERO_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aero
+{
+
+enum class IoOp : std::uint8_t { Read, Write };
+
+struct TraceRecord
+{
+    Tick arrival = 0;      //!< absolute arrival time
+    IoOp op = IoOp::Read;
+    Lpn startPage = 0;     //!< first logical page
+    std::uint32_t pages = 1;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+/** Aggregate I/O characteristics of a trace (the paper's Table 3). */
+struct TraceStats
+{
+    std::size_t requests = 0;
+    double readRatio = 0.0;        //!< fraction of read requests
+    double avgReqSizeKB = 0.0;
+    double avgInterArrivalMs = 0.0;
+    Lpn maxPage = 0;
+};
+
+TraceStats computeStats(const Trace &trace, std::uint32_t page_kb);
+
+/** Render stats as a Table 3 style row. */
+std::string statsRow(const std::string &name, const TraceStats &s);
+
+/**
+ * @name Trace file I/O
+ * CSV in an MSRC-like layout: `timestamp_ns,op,start_page,pages` with a
+ * one-line header. Lets users replay their own block traces through the
+ * simulator and persist generated ones.
+ */
+/** @{ */
+void saveTrace(const Trace &trace, const std::string &path);
+Trace loadTrace(const std::string &path);
+/** @} */
+
+} // namespace aero
+
+#endif // AERO_WORKLOAD_TRACE_HH

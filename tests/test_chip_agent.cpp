@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Focused tests of the per-chip scheduler: priorities, erase atomicity,
+ * suspension mechanics (entry latency, resume penalty, per-op cap), and
+ * channel contention — driven through a hand-built FTL stub so each
+ * behaviour is observable in isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aero_scheme.hh"
+#include "ssd/chip_agent.hh"
+
+namespace aero
+{
+namespace
+{
+
+/** Minimal FtlCallbacks that records completions. */
+class StubFtl : public FtlCallbacks
+{
+  public:
+    void
+    onPageOpDone(const PageOp &op) override
+    {
+        completions.push_back(op);
+    }
+
+    void
+    onEraseDone(int, BlockId block, const EraseOutcome &outcome,
+                GcJob *) override
+    {
+        erases.emplace_back(block, outcome);
+    }
+
+    bool
+    eraseUrgent(int, BlockId) override
+    {
+        return urgent;
+    }
+
+    std::vector<PageOp> completions;
+    std::vector<std::pair<BlockId, EraseOutcome>> erases;
+    bool urgent = false;
+};
+
+struct Rig
+{
+    explicit Rig(SuspensionMode mode = SuspensionMode::MidSegment,
+                 double pec = 2500.0)
+        : cfg(SsdConfig::tiny()),
+          chip(ChipParams::forType(cfg.chipType), cfg.geometry, 11)
+    {
+        cfg.suspension = mode;
+        for (int b = 0; b < chip.numBlocks(); ++b)
+            chip.ageBaseline(b, static_cast<int>(pec));
+        scheme = makeEraseScheme(SchemeKind::Baseline, chip,
+                                 SchemeOptions{});
+        agent = std::make_unique<ChipAgent>(0, chip, *scheme, eq, cfg,
+                                            channel, ftl, metrics);
+    }
+
+    PageOp
+    read(Lpn lpn = 0)
+    {
+        PageOp op;
+        op.kind = PageOp::Kind::UserRead;
+        op.lpn = lpn;
+        return op;
+    }
+
+    SsdConfig cfg;
+    EventQueue eq;
+    NandChip chip;
+    std::unique_ptr<EraseScheme> scheme;
+    Channel channel;
+    StubFtl ftl;
+    SsdMetrics metrics;
+    std::unique_ptr<ChipAgent> agent;
+};
+
+TEST(ChipAgent, ReadLatencyIsSensePlusTransfer)
+{
+    Rig rig;
+    rig.agent->enqueue(rig.read());
+    rig.eq.run();
+    ASSERT_EQ(rig.ftl.completions.size(), 1u);
+    EXPECT_EQ(rig.eq.now(),
+              rig.chip.params().tRead + rig.cfg.channelXferPerPage);
+}
+
+TEST(ChipAgent, ChannelSerializesTransfers)
+{
+    Rig rig;
+    // Two reads on the same chip: second waits for the chip; channel
+    // contention applies on top for chips sharing a channel.
+    rig.agent->enqueue(rig.read(0));
+    rig.agent->enqueue(rig.read(1));
+    rig.eq.run();
+    ASSERT_EQ(rig.ftl.completions.size(), 2u);
+    EXPECT_EQ(rig.eq.now(), 2 * (rig.chip.params().tRead +
+                                 rig.cfg.channelXferPerPage));
+}
+
+TEST(ChipAgent, EraseIsAtomicWithoutSuspension)
+{
+    Rig rig(SuspensionMode::None);
+    rig.agent->enqueueErase(0, nullptr);
+    // Let the erase start, then a read arrives 1 ms in.
+    rig.eq.run(1 * kMs);
+    rig.agent->enqueue(rig.read());
+    rig.eq.run();
+    ASSERT_EQ(rig.ftl.erases.size(), 1u);
+    ASSERT_EQ(rig.ftl.completions.size(), 1u);
+    EXPECT_EQ(rig.metrics.eraseSuspensions, 0u);
+    // The read had to wait for the whole multi-loop erase operation.
+    const auto &outcome = rig.ftl.erases[0].second;
+    EXPECT_GE(outcome.loops, 2);
+    EXPECT_GE(rig.eq.now(), outcome.latency);
+}
+
+TEST(ChipAgent, SuspensionPreemptsAndChargesOverheads)
+{
+    Rig rig(SuspensionMode::MidSegment);
+    rig.agent->enqueueErase(0, nullptr);
+    rig.eq.run(1 * kMs);
+    const Tick read_enq = rig.eq.now();
+    rig.agent->enqueue(rig.read());
+    rig.eq.run();
+    EXPECT_EQ(rig.metrics.eraseSuspensions, 1u);
+    ASSERT_EQ(rig.ftl.completions.size(), 1u);
+    ASSERT_EQ(rig.ftl.erases.size(), 1u);
+    // The read waited only the voltage-quiesce entry, not the erase.
+    // Reconstruct its completion time from the schedule: enqueue +
+    // entry + sense + transfer.
+    const Tick expected_read_done = read_enq + rig.cfg.suspendEntryLatency +
+                                    rig.chip.params().tRead +
+                                    rig.cfg.channelXferPerPage;
+    // The erase resumed afterwards with the resume penalty, so total
+    // time = erase latency + entry + read service + resume overhead.
+    const auto &outcome = rig.ftl.erases[0].second;
+    EXPECT_EQ(rig.eq.now(), outcome.latency +
+                                rig.cfg.suspendEntryLatency +
+                                (expected_read_done - read_enq -
+                                 rig.cfg.suspendEntryLatency) +
+                                rig.cfg.suspendResumeOverhead);
+}
+
+TEST(ChipAgent, SuspensionCapBoundsPreemptionsPerOperation)
+{
+    Rig rig(SuspensionMode::MidSegment);
+    rig.agent->enqueueErase(0, nullptr);
+    // Spaced read arrivals throughout the erase: only the first
+    // kMaxSuspensionsPerOp can preempt; the rest must wait, so at least
+    // one read sees a multi-millisecond delay.
+    std::vector<Tick> enqueue_times;
+    for (int i = 0; i < 10; ++i) {
+        rig.eq.run(rig.eq.now() + 400 * kUs);
+        enqueue_times.push_back(rig.eq.now());
+        rig.agent->enqueue(rig.read(i));
+    }
+    rig.eq.run();
+    ASSERT_EQ(rig.ftl.erases.size(), 1u);
+    ASSERT_EQ(rig.ftl.completions.size(), 10u);
+    EXPECT_GT(rig.metrics.eraseSuspensions, 0u);
+    EXPECT_LE(rig.metrics.eraseSuspensions,
+              static_cast<std::uint64_t>(
+                  ChipAgent::kMaxSuspensionsPerOp));
+    // With the cap at its default (2) and 10 spaced arrivals across a
+    // multi-loop erase, the operation cannot have been fully hidden:
+    // total time extends past the last enqueue by more than one read.
+    EXPECT_GT(rig.eq.now(), enqueue_times.back() + 1 * kMs);
+}
+
+TEST(ChipAgent, UrgentEraseBeatsWrites)
+{
+    Rig rig;
+    rig.ftl.urgent = true;
+    PageOp w;
+    w.kind = PageOp::Kind::UserWrite;
+    rig.agent->enqueueErase(0, nullptr);
+    rig.agent->enqueue(w);
+    rig.eq.run();
+    ASSERT_EQ(rig.ftl.erases.size(), 1u);
+    ASSERT_EQ(rig.ftl.completions.size(), 1u);
+    // The erase finished before the write started: total time >= erase
+    // latency + write path.
+    EXPECT_GE(rig.eq.now(), rig.ftl.erases[0].second.latency +
+                                rig.cfg.channelXferPerPage +
+                                rig.chip.params().tProg);
+}
+
+TEST(ChipAgent, BackgroundEraseYieldsToWrites)
+{
+    Rig rig;
+    rig.ftl.urgent = false;
+    PageOp w;
+    w.kind = PageOp::Kind::UserWrite;
+    rig.agent->enqueueErase(0, nullptr);
+    rig.agent->enqueue(w);
+    rig.eq.step();  // dispatch decision happens at the first event
+    rig.eq.run();
+    ASSERT_EQ(rig.ftl.completions.size(), 1u);
+    ASSERT_EQ(rig.ftl.erases.size(), 1u);
+}
+
+TEST(ChipAgent, IdleReflectsQueues)
+{
+    Rig rig;
+    EXPECT_TRUE(rig.agent->idle());
+    rig.agent->enqueue(rig.read());
+    EXPECT_FALSE(rig.agent->idle());
+    rig.eq.run();
+    EXPECT_TRUE(rig.agent->idle());
+}
+
+} // namespace
+} // namespace aero

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for common helpers: time units, piecewise-linear curves and
+ * their inversion, and the inverse normal CDF / quadrature.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/interp.hh"
+#include "common/mathutil.hh"
+#include "common/types.hh"
+
+namespace aero
+{
+namespace
+{
+
+TEST(Types, TickConversions)
+{
+    EXPECT_EQ(msToTicks(3.5), 3'500'000u);
+    EXPECT_DOUBLE_EQ(ticksToMs(3'500'000), 3.5);
+    EXPECT_DOUBLE_EQ(ticksToUs(40'000), 40.0);
+    EXPECT_EQ(kMs, 1'000'000u);
+    EXPECT_EQ(kSec, 1'000'000'000u);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {10.0, 100.0}});
+    EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(f(5.0), 50.0);
+    EXPECT_DOUBLE_EQ(f(10.0), 100.0);
+}
+
+TEST(PiecewiseLinear, ExtrapolatesLinearly)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {10.0, 100.0}, {20.0, 150.0}});
+    EXPECT_DOUBLE_EQ(f(30.0), 200.0);  // last segment slope = 5
+    EXPECT_DOUBLE_EQ(f(-10.0), -100.0);
+}
+
+TEST(PiecewiseLinear, MultiSegment)
+{
+    PiecewiseLinear f({{0.0, 1.0}, {1.0, 2.0}, {2.0, 10.0}});
+    EXPECT_DOUBLE_EQ(f(0.5), 1.5);
+    EXPECT_DOUBLE_EQ(f(1.5), 6.0);
+}
+
+TEST(PiecewiseLinear, InverseRoundTrips)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {5.0, 20.0}, {10.0, 100.0}});
+    for (const double x : {0.5, 2.0, 4.9, 5.1, 7.5, 9.9}) {
+        EXPECT_NEAR(f.inverse(f(x)), x, 1e-9) << "x=" << x;
+    }
+}
+
+TEST(PiecewiseLinear, InverseExtrapolates)
+{
+    PiecewiseLinear f({{0.0, 0.0}, {10.0, 100.0}});
+    EXPECT_NEAR(f.inverse(200.0), 20.0, 1e-9);
+}
+
+TEST(PiecewiseLinear, RejectsNonIncreasingX)
+{
+    EXPECT_DEATH(PiecewiseLinear({{1.0, 0.0}, {1.0, 1.0}}), "increasing");
+}
+
+TEST(MathUtil, InverseNormalCdfKnownValues)
+{
+    EXPECT_NEAR(inverseNormalCdf(0.5), 0.0, 1e-8);
+    EXPECT_NEAR(inverseNormalCdf(0.975), 1.959964, 1e-4);
+    EXPECT_NEAR(inverseNormalCdf(0.025), -1.959964, 1e-4);
+    EXPECT_NEAR(inverseNormalCdf(0.8413447), 1.0, 1e-4);
+    EXPECT_NEAR(inverseNormalCdf(0.9986501), 3.0, 1e-3);
+}
+
+TEST(MathUtil, QuadratureNodesAreStandardNormal)
+{
+    const auto zs = normalQuadratureNodes(101);
+    double mean = 0.0, var = 0.0;
+    for (const double z : zs)
+        mean += z;
+    mean /= zs.size();
+    for (const double z : zs)
+        var += (z - mean) * (z - mean);
+    var /= zs.size();
+    EXPECT_NEAR(mean, 0.0, 1e-6);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+class QuadratureSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuadratureSweep, LognormalMeanViaQuadrature)
+{
+    // E[exp(sigma Z - sigma^2/2)] must be ~1 for any node count.
+    const int n = GetParam();
+    const double sigma = 0.25;
+    const auto zs = normalQuadratureNodes(n);
+    double sum = 0.0;
+    for (const double z : zs)
+        sum += std::exp(sigma * z - 0.5 * sigma * sigma);
+    EXPECT_NEAR(sum / n, 1.0, 0.01) << "nodes=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, QuadratureSweep,
+                         ::testing::Values(9, 17, 33, 65, 129));
+
+} // namespace
+} // namespace aero

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the ECC model: decode outcomes, margins, requirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/ecc_model.hh"
+
+namespace aero
+{
+namespace
+{
+
+TEST(Ecc, DefaultConfigMatchesPaper)
+{
+    EccModel ecc;
+    EXPECT_EQ(ecc.config().capability, 72);
+    EXPECT_EQ(ecc.config().requirement, 63);
+}
+
+TEST(Ecc, CleanDecodeIsHardPath)
+{
+    EccModel ecc;
+    const auto r = ecc.decode(10.0);
+    EXPECT_TRUE(r.correctable);
+    EXPECT_FALSE(r.usedSoftDecode);
+    EXPECT_EQ(r.latency, ecc.config().hardDecodeLatency);
+    EXPECT_EQ(r.margin, 53);
+}
+
+TEST(Ecc, GuardBandTriggersSoftDecode)
+{
+    EccModel ecc;
+    const auto r = ecc.decode(68.0);  // between requirement and capability
+    EXPECT_TRUE(r.correctable);
+    EXPECT_TRUE(r.usedSoftDecode);
+    EXPECT_GT(r.latency, ecc.config().hardDecodeLatency);
+}
+
+TEST(Ecc, BeyondCapabilityIsUncorrectable)
+{
+    EccModel ecc;
+    const auto r = ecc.decode(80.0);
+    EXPECT_FALSE(r.correctable);
+    EXPECT_LT(r.margin, 0);
+}
+
+TEST(Ecc, MarginClampsAtZero)
+{
+    EccModel ecc;
+    EXPECT_EQ(ecc.marginFor(100.0), 0);
+    EXPECT_EQ(ecc.marginFor(20.0), 43);
+    EXPECT_EQ(ecc.marginFor(0.0), 63);
+}
+
+TEST(Ecc, MeetsRequirementBoundary)
+{
+    EccModel ecc;
+    EXPECT_TRUE(ecc.meetsRequirement(63.0));
+    EXPECT_FALSE(ecc.meetsRequirement(63.5));
+}
+
+TEST(Ecc, WeakerCodeViaConfig)
+{
+    EccConfig cfg;
+    cfg.capability = 45;
+    cfg.requirement = 40;
+    EccModel ecc(cfg);
+    EXPECT_TRUE(ecc.decode(39.0).correctable);
+    EXPECT_FALSE(ecc.decode(46.0).correctable);
+    EXPECT_EQ(ecc.marginFor(16.0), 24);
+}
+
+TEST(Ecc, InvalidConfigPanics)
+{
+    EccConfig cfg;
+    cfg.capability = 40;
+    cfg.requirement = 60;
+    EXPECT_DEATH(EccModel{cfg}, "requirement");
+}
+
+} // namespace
+} // namespace aero

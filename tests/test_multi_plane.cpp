@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for multi-plane erase composition (paper section 6) and the
+ * trace file I/O round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/aero_scheme.hh"
+#include "erase/baseline_ispe.hh"
+#include "erase/multi_plane.hh"
+#include "workload/synthetic.hh"
+
+namespace aero
+{
+namespace
+{
+
+NandChip
+makeChip(std::uint64_t seed = 1)
+{
+    return NandChip(ChipParams::tlc3d(), ChipGeometry{4, 8, 16}, seed);
+}
+
+TEST(MultiPlane, JointLatencyIsMaxNotSum)
+{
+    auto chip = makeChip(3);
+    for (int b = 0; b < chip.numBlocks(); ++b)
+        chip.ageBaseline(b, 2500);
+    BaselineIspe scheme(chip, SchemeOptions{});
+    const std::vector<BlockId> blocks = {0, 8, 16, 24};  // one per plane
+    const auto out = MultiPlaneErase::eraseNow(scheme, blocks);
+    ASSERT_EQ(out.perBlock.size(), 4u);
+    Tick max_member = 0;
+    for (const auto &o : out.perBlock) {
+        EXPECT_TRUE(o.complete);
+        max_member = std::max(max_member, o.latency);
+    }
+    EXPECT_EQ(out.latency, max_member);
+    EXPECT_LT(out.latency, out.serialLatency);
+}
+
+TEST(MultiPlane, EarlyMembersAreInhibited)
+{
+    // Damage of a multi-plane erase must equal the sum of the members'
+    // own needs: a finished block takes no pulses from later loops.
+    auto joint_chip = makeChip(5);
+    auto solo_chip = makeChip(5);
+    for (int b = 0; b < joint_chip.numBlocks(); ++b) {
+        joint_chip.ageBaseline(b, 2500);
+        solo_chip.ageBaseline(b, 2500);
+    }
+    BaselineIspe joint_scheme(joint_chip, SchemeOptions{});
+    BaselineIspe solo_scheme(solo_chip, SchemeOptions{});
+    const std::vector<BlockId> blocks = {0, 8, 16, 24};
+    const auto joint = MultiPlaneErase::eraseNow(joint_scheme, blocks);
+    double solo_damage = 0.0;
+    for (const BlockId b : blocks)
+        solo_damage += eraseNow(solo_scheme, b).damage;
+    EXPECT_NEAR(joint.totalDamage, solo_damage, 1e-9);
+}
+
+TEST(MultiPlane, WorksWithAeroAndKeepsReduction)
+{
+    auto base_chip = makeChip(7);
+    auto aero_chip = makeChip(7);
+    for (int b = 0; b < base_chip.numBlocks(); ++b) {
+        base_chip.ageBaseline(b, 2500);
+        aero_chip.ageBaseline(b, 2500);
+    }
+    BaselineIspe base(base_chip, SchemeOptions{});
+    auto aero = makeEraseScheme(SchemeKind::Aero, aero_chip,
+                                SchemeOptions{});
+    const std::vector<BlockId> blocks = {1, 9, 17, 25};
+    const auto jb = MultiPlaneErase::eraseNow(base, blocks);
+    const auto ja = MultiPlaneErase::eraseNow(*aero, blocks);
+    EXPECT_LT(ja.totalDamage, jb.totalDamage);
+    EXPECT_LE(ja.latency, jb.latency + msToTicks(0.5));
+}
+
+TEST(MultiPlane, SingleBlockDegenerates)
+{
+    auto chip = makeChip(9);
+    BaselineIspe scheme(chip, SchemeOptions{});
+    const auto out = MultiPlaneErase::eraseNow(scheme, {2});
+    EXPECT_EQ(out.latency, out.serialLatency);
+    EXPECT_EQ(out.perBlock.size(), 1u);
+}
+
+TEST(MultiPlane, RejectsTooManyBlocks)
+{
+    auto chip = makeChip(11);
+    BaselineIspe scheme(chip, SchemeOptions{});
+    EXPECT_DEATH(MultiPlaneErase(scheme, {0, 1, 2, 3, 4}),
+                 "more blocks than planes");
+}
+
+TEST(TraceIo, SaveLoadRoundTrip)
+{
+    SyntheticConfig cfg;
+    cfg.spec = workloadByName("hm");
+    cfg.footprintPages = 4096;
+    cfg.numRequests = 500;
+    const auto trace = generateTrace(cfg);
+    const std::string path = "/tmp/aero_trace_roundtrip.csv";
+    saveTrace(trace, path);
+    const auto loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded[i].arrival, trace[i].arrival);
+        EXPECT_EQ(loaded[i].op, trace[i].op);
+        EXPECT_EQ(loaded[i].startPage, trace[i].startPage);
+        EXPECT_EQ(loaded[i].pages, trace[i].pages);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_DEATH(loadTrace("/nonexistent/path/trace.csv"),
+                 "cannot open");
+}
+
+TEST(TraceIo, MalformedRecordIsFatal)
+{
+    const std::string path = "/tmp/aero_trace_bad.csv";
+    {
+        FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("timestamp_ns,op,start_page,pages\n", f);
+        std::fputs("123,X,4,1\n", f);
+        std::fclose(f);
+    }
+    EXPECT_DEATH(loadTrace(path), "malformed");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace aero

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and its distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace aero
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(3.0, 5.0);
+        ASSERT_GE(v, 3.0);
+        ASSERT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.below(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, GaussMoments)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.gauss();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, LognormFactorHasUnitMean)
+{
+    Rng r(17);
+    for (const double sigma : {0.05, 0.2, 0.5}) {
+        double sum = 0.0;
+        const int n = 200000;
+        for (int i = 0; i < n; ++i)
+            sum += r.lognormFactor(sigma);
+        EXPECT_NEAR(sum / n, 1.0, 0.02) << "sigma=" << sigma;
+    }
+}
+
+TEST(Rng, ExpovariateMean)
+{
+    Rng r(19);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.expovariate(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ForkGivesIndependentStreams)
+{
+    Rng base(21);
+    Rng a = base.fork(1);
+    Rng b = base.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, SkewConcentratesMass)
+{
+    Rng r(23);
+    ZipfGenerator zipf(10000, 0.9);
+    int top_ranks = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        if (zipf.draw(r) < 100)  // top 1% of ranks
+            ++top_ranks;
+    }
+    // Zipf(0.9) puts far more than 1% of mass on the top 1% of ranks.
+    EXPECT_GT(static_cast<double>(top_ranks) / n, 0.3);
+}
+
+TEST(Zipf, ThetaZeroIsUniform)
+{
+    Rng r(29);
+    ZipfGenerator zipf(1000, 0.0);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(zipf.draw(r));
+    EXPECT_NEAR(sum / n, 499.5, 15.0);
+}
+
+TEST(Zipf, DrawsStayInRange)
+{
+    Rng r(31);
+    ZipfGenerator zipf(50, 0.99);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(zipf.draw(r), 50u);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, ChanceMatchesProbability)
+{
+    Rng r(GetParam());
+    const double p = 0.37;
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(p);
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 42, 1337, 0xdeadbeef,
+                                           0xffffffffffffffffULL));
+
+} // namespace
+} // namespace aero

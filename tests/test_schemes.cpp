@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the comparison erase schemes: Baseline ISPE, i-ISPE,
+ * and DPES, via the session interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aero_scheme.hh"
+#include "erase/baseline_ispe.hh"
+#include "erase/dpes.hh"
+#include "erase/i_ispe.hh"
+#include "nand/erase_model.hh"
+
+namespace aero
+{
+namespace
+{
+
+NandChip
+makeChip(std::uint64_t seed = 1)
+{
+    return NandChip(ChipParams::tlc3d(), ChipGeometry{1, 12, 16}, seed);
+}
+
+TEST(BaselineIspe, SingleLoopAtZeroPec)
+{
+    auto chip = makeChip();
+    BaselineIspe scheme(chip, SchemeOptions{});
+    const auto out = eraseNow(scheme, 0);
+    EXPECT_TRUE(out.complete);
+    EXPECT_EQ(out.loops, 1);
+    EXPECT_EQ(out.eraseFailures, 0);
+    EXPECT_EQ(out.latency, chip.params().loopLatency());
+    EXPECT_EQ(out.maxLevel, 1);
+}
+
+TEST(BaselineIspe, MultiLoopAtHighPec)
+{
+    auto chip = makeChip();
+    chip.ageBaseline(3, 2500);
+    BaselineIspe scheme(chip, SchemeOptions{});
+    const auto out = eraseNow(scheme, 3);
+    EXPECT_TRUE(out.complete);
+    EXPECT_GE(out.loops, 2);
+    EXPECT_EQ(out.eraseFailures, out.loops - 1);
+    EXPECT_EQ(out.latency,
+              static_cast<Tick>(out.loops) * chip.params().loopLatency());
+    EXPECT_EQ(out.slotsApplied, out.loops * chip.params().slotsPerLoop);
+}
+
+TEST(BaselineIspe, SegmentsAreLoopGranular)
+{
+    auto chip = makeChip();
+    chip.ageBaseline(5, 2500);
+    BaselineIspe scheme(chip, SchemeOptions{});
+    auto session = scheme.begin(5);
+    EraseSegment seg;
+    int segments = 0;
+    while (session->nextSegment(seg)) {
+        EXPECT_EQ(seg.duration, chip.params().loopLatency());
+        ++segments;
+        if (seg.last)
+            break;
+    }
+    EXPECT_EQ(segments, session->outcome().loops);
+    EXPECT_FALSE(session->nextSegment(seg));  // exhausted
+}
+
+TEST(IIspe, MatchesBaselineOnFreshBlocks)
+{
+    auto chip = makeChip();
+    IntelligentIspe scheme(chip, SchemeOptions{});
+    const auto out = eraseNow(scheme, 0);
+    EXPECT_TRUE(out.complete);
+    EXPECT_EQ(out.loops, 1);
+    EXPECT_EQ(out.maxLevel, 1);
+    EXPECT_EQ(scheme.rememberedLevel(0), 1);
+}
+
+TEST(IIspe, SeedsMemoryFromPreAgedPec)
+{
+    auto chip = makeChip();
+    for (int b = 0; b < chip.numBlocks(); ++b)
+        chip.ageBaseline(b, 3000);
+    IntelligentIspe scheme(chip, SchemeOptions{});
+    EXPECT_GE(scheme.rememberedLevel(0), 2);
+}
+
+TEST(IIspe, SkipsPreambleLoops)
+{
+    auto chip = makeChip(3);
+    for (int b = 0; b < chip.numBlocks(); ++b)
+        chip.ageBaseline(b, 2500);
+    IntelligentIspe scheme(chip, SchemeOptions{});
+    // Successful jumps finish in one loop where Baseline needs 2-3.
+    int single = 0, total = 0;
+    for (int b = 0; b < chip.numBlocks(); ++b) {
+        const auto out = eraseNow(scheme, b);
+        EXPECT_TRUE(out.complete);
+        single += out.loops == 1;
+        ++total;
+    }
+    EXPECT_GT(single, 0);
+}
+
+TEST(IIspe, FailuresBecomeFrequentWithAge)
+{
+    auto chip = makeChip(5);
+    IntelligentIspe scheme(chip, SchemeOptions{});
+    auto failure_rate = [&](int pec) {
+        for (int b = 0; b < chip.numBlocks(); ++b) {
+            auto &blk = chip.block(b);
+            if (blk.pec() < pec)
+                chip.ageBaseline(b, pec - static_cast<int>(blk.pec()));
+        }
+        int fails = 0, total = 0;
+        for (int round = 0; round < 30; ++round) {
+            for (int b = 0; b < chip.numBlocks(); ++b) {
+                const auto out = eraseNow(scheme, b);
+                fails += out.eraseFailures > 0;
+                ++total;
+            }
+        }
+        return static_cast<double>(fails) / total;
+    };
+    const double young = failure_rate(500);
+    const double old_rate = failure_rate(3000);
+    EXPECT_LT(young, 0.15);
+    EXPECT_GT(old_rate, young + 0.1);
+}
+
+TEST(Dpes, ReducesDamageWhileActive)
+{
+    auto a = makeChip(7);
+    auto b = makeChip(7);
+    BaselineIspe base(a, SchemeOptions{});
+    Dpes dpes(b, SchemeOptions{});
+    EXPECT_TRUE(dpes.active(0));
+    const auto ob = eraseNow(base, 0);
+    const auto od = eraseNow(dpes, 0);
+    EXPECT_TRUE(od.complete);
+    EXPECT_NEAR(od.damage,
+                ob.damage * a.params().dpesStressFactor,
+                ob.damage * 0.01);
+}
+
+TEST(Dpes, DegeneratesToBaselineAfter3kPec)
+{
+    auto chip = makeChip(9);
+    chip.ageBaseline(0, 3500);
+    Dpes dpes(chip, SchemeOptions{});
+    EXPECT_FALSE(dpes.active(0));
+    EXPECT_EQ(dpes.programLatency(0), chip.params().tProg);
+    EXPECT_DOUBLE_EQ(dpes.extraRber(0), 0.0);
+}
+
+TEST(Dpes, ProgramPenaltyGrowsTowardLimit)
+{
+    auto chip = makeChip(11);
+    Dpes dpes(chip, SchemeOptions{});
+    const Tick young = dpes.programLatency(0);
+    EXPECT_NEAR(static_cast<double>(young),
+                1.10 * static_cast<double>(chip.params().tProg),
+                static_cast<double>(kUs));
+    chip.ageBaseline(0, 2500);
+    const Tick old_lat = dpes.programLatency(0);
+    EXPECT_GT(old_lat, young);
+    EXPECT_NEAR(static_cast<double>(old_lat),
+                1.30 * static_cast<double>(chip.params().tProg),
+                2.0 * static_cast<double>(kUs));
+}
+
+TEST(Dpes, ExtraRberWhileActive)
+{
+    auto chip = makeChip(13);
+    Dpes dpes(chip, SchemeOptions{});
+    EXPECT_GT(dpes.extraRber(0), 0.0);
+}
+
+TEST(Factory, CreatesAllKinds)
+{
+    auto chip = makeChip(15);
+    for (const auto k : {SchemeKind::Baseline, SchemeKind::IIspe,
+                         SchemeKind::Dpes, SchemeKind::AeroCons,
+                         SchemeKind::Aero}) {
+        auto s = makeEraseScheme(k, chip, SchemeOptions{});
+        ASSERT_NE(s, nullptr);
+        EXPECT_EQ(s->kind(), k);
+        EXPECT_STRNE(s->name(), "unknown");
+    }
+}
+
+/** All schemes must terminate and commit exactly one erase per call. */
+class SchemeTerminationSweep
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, int>>
+{
+};
+
+TEST_P(SchemeTerminationSweep, EraseTerminatesAndCommits)
+{
+    const auto [kind, pec] = GetParam();
+    auto chip = makeChip(17);
+    for (int b = 0; b < chip.numBlocks(); ++b)
+        chip.ageBaseline(b, pec);
+    auto scheme = makeEraseScheme(kind, chip, SchemeOptions{});
+    const auto before = chip.eraseOpsCompleted();
+    for (int b = 0; b < chip.numBlocks(); ++b) {
+        const auto out = eraseNow(*scheme, b);
+        EXPECT_GT(out.latency, 0u);
+        EXPECT_GE(out.loops, 1);
+    }
+    EXPECT_EQ(chip.eraseOpsCompleted(),
+              before + static_cast<std::uint64_t>(chip.numBlocks()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchemeTerminationSweep,
+    ::testing::Combine(::testing::Values(SchemeKind::Baseline,
+                                         SchemeKind::IIspe,
+                                         SchemeKind::Dpes,
+                                         SchemeKind::AeroCons,
+                                         SchemeKind::Aero),
+                       ::testing::Values(0, 1000, 3000, 5000)));
+
+} // namespace
+} // namespace aero

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the event queue, page mapping, and block manager.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "ssd/block_manager.hh"
+#include "ssd/mapping.hh"
+
+namespace aero
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.processed(), 3u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 5)
+            eq.schedule(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsEarly)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
+}
+
+TEST(Mapping, UpdateAndLookupRoundTrip)
+{
+    PageMapping m(64, 2, 4, 8);
+    EXPECT_EQ(m.lookup(0), kInvalidPpn);
+    const Ppn ppn = m.encode(1, 2, 3);
+    EXPECT_EQ(m.update(7, ppn), kInvalidPpn);
+    EXPECT_EQ(m.lookup(7), ppn);
+    EXPECT_EQ(m.reverseLookup(ppn), 7u);
+    EXPECT_EQ(m.mappedCount(), 1u);
+    const auto parts = m.decode(ppn);
+    EXPECT_EQ(parts.chip, 1);
+    EXPECT_EQ(parts.block, 2u);
+    EXPECT_EQ(parts.page, 3);
+}
+
+TEST(Mapping, OverwriteInvalidatesOldLocation)
+{
+    PageMapping m(64, 2, 4, 8);
+    const Ppn a = m.encode(0, 1, 0);
+    const Ppn b = m.encode(1, 3, 5);
+    m.update(9, a);
+    EXPECT_EQ(m.validPages(0, 1), 1);
+    EXPECT_EQ(m.update(9, b), a);
+    EXPECT_EQ(m.reverseLookup(a), kInvalidLpn);
+    EXPECT_EQ(m.validPages(0, 1), 0);
+    EXPECT_EQ(m.validPages(1, 3), 1);
+    EXPECT_EQ(m.mappedCount(), 1u);
+}
+
+TEST(Mapping, DoubleProgramSamePpnPanics)
+{
+    PageMapping m(64, 2, 4, 8);
+    const Ppn ppn = m.encode(0, 0, 0);
+    m.update(1, ppn);
+    EXPECT_DEATH(m.update(2, ppn), "still mapped");
+}
+
+TEST(Mapping, EraseRequiresNoValidPages)
+{
+    PageMapping m(64, 2, 4, 8);
+    m.update(3, m.encode(0, 2, 1));
+    EXPECT_DEATH(m.onBlockErased(0, 2), "valid pages");
+    m.invalidateLpn(3);
+    m.onBlockErased(0, 2);  // now fine
+    EXPECT_EQ(m.validPages(0, 2), 0);
+}
+
+TEST(Mapping, EncodeDecodeExhaustive)
+{
+    PageMapping m(64, 3, 5, 7);
+    for (int c = 0; c < 3; ++c) {
+        for (BlockId b = 0; b < 5; ++b) {
+            for (int pg = 0; pg < 7; ++pg) {
+                const auto parts = m.decode(m.encode(c, b, pg));
+                EXPECT_EQ(parts.chip, c);
+                EXPECT_EQ(parts.block, b);
+                EXPECT_EQ(parts.page, pg);
+            }
+        }
+    }
+}
+
+SsdConfig
+tinyCfg()
+{
+    return SsdConfig::tiny();
+}
+
+TEST(BlockManager, AllocatesSequentiallyWithinOpenBlock)
+{
+    BlockManager bm(tinyCfg());
+    BlockId blk;
+    int page;
+    ASSERT_TRUE(bm.allocate(0, 0, blk, page));
+    EXPECT_EQ(page, 0);
+    const BlockId first = blk;
+    EXPECT_EQ(bm.state(0, first), BlockState::Open);
+    for (int i = 1; i < tinyCfg().geometry.pagesPerBlock; ++i) {
+        ASSERT_TRUE(bm.allocate(0, 0, blk, page));
+        EXPECT_EQ(blk, first);
+        EXPECT_EQ(page, i);
+    }
+    EXPECT_EQ(bm.state(0, first), BlockState::Full);
+    // Next allocation opens a new block.
+    ASSERT_TRUE(bm.allocate(0, 0, blk, page));
+    EXPECT_NE(blk, first);
+    EXPECT_EQ(page, 0);
+}
+
+TEST(BlockManager, PlaneExhaustionAndEraseRecovery)
+{
+    const auto cfg = tinyCfg();
+    BlockManager bm(cfg);
+    BlockId blk;
+    int page;
+    std::vector<BlockId> filled;
+    // User allocations must stop with the GC reserve still intact.
+    while (bm.allocate(0, 0, blk, page)) {
+        if (page == cfg.geometry.pagesPerBlock - 1)
+            filled.push_back(blk);
+    }
+    EXPECT_EQ(bm.freeBlocks(0, 0), BlockManager::kGcReservedBlocks);
+    EXPECT_EQ(static_cast<int>(filled.size()),
+              cfg.geometry.blocksPerPlane -
+                  BlockManager::kGcReservedBlocks);
+    // GC can still allocate from the reserve...
+    ASSERT_TRUE(bm.allocate(0, 0, blk, page, true));
+    EXPECT_EQ(bm.freeBlocks(0, 0), 0);
+    // ...and an erase replenishes the pool for user writes again.
+    bm.onBlockErased(0, filled.front());
+    EXPECT_EQ(bm.freeBlocks(0, 0), 1);
+    EXPECT_EQ(bm.state(0, filled.front()), BlockState::Free);
+    EXPECT_FALSE(bm.allocate(0, 0, blk, page));  // reserve again
+    ASSERT_TRUE(bm.allocate(0, 0, blk, page, true));
+}
+
+TEST(BlockManager, GcWritePointIsSeparate)
+{
+    BlockManager bm(tinyCfg());
+    BlockId user_blk, gc_blk;
+    int page;
+    ASSERT_TRUE(bm.allocate(0, 0, user_blk, page));
+    ASSERT_TRUE(bm.allocate(0, 0, gc_blk, page, true));
+    EXPECT_NE(user_blk, gc_blk);
+    EXPECT_EQ(page, 0);  // GC stream has its own cursor
+}
+
+TEST(BlockManager, PlanesAreIndependent)
+{
+    BlockManager bm(tinyCfg());
+    BlockId a, b;
+    int pa, pb;
+    ASSERT_TRUE(bm.allocate(0, 0, a, pa));
+    ASSERT_TRUE(bm.allocate(0, 1, b, pb));
+    EXPECT_NE(bm.planeOf(a), bm.planeOf(b));
+    EXPECT_EQ(bm.planeOf(a), 0);
+    EXPECT_EQ(bm.planeOf(b), 1);
+}
+
+TEST(BlockManager, FullBlocksListsOnlyFull)
+{
+    const auto cfg = tinyCfg();
+    BlockManager bm(cfg);
+    BlockId blk;
+    int page;
+    for (int i = 0; i < cfg.geometry.pagesPerBlock; ++i)
+        ASSERT_TRUE(bm.allocate(1, 0, blk, page));
+    const auto full = bm.fullBlocks(1, 0);
+    ASSERT_EQ(full.size(), 1u);
+    EXPECT_EQ(full[0], blk);
+    EXPECT_TRUE(bm.fullBlocks(1, 1).empty());
+}
+
+TEST(BlockManager, EraseOfNonFullBlockPanics)
+{
+    BlockManager bm(tinyCfg());
+    EXPECT_DEATH(bm.onBlockErased(0, 0), "Full state");
+}
+
+} // namespace
+} // namespace aero

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the statistics substrate: exact percentiles, histograms,
+ * empirical CDFs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "stats/cdf.hh"
+#include "stats/histogram.hh"
+#include "stats/percentile.hh"
+
+namespace aero
+{
+namespace
+{
+
+TEST(Percentile, EmptyTrackerIsZero)
+{
+    PercentileTracker t;
+    EXPECT_EQ(t.percentile(0.5), 0u);
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(Percentile, NearestRankSemantics)
+{
+    PercentileTracker t;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        t.add(v);
+    EXPECT_EQ(t.percentile(0.50), 50u);
+    EXPECT_EQ(t.percentile(0.99), 99u);
+    EXPECT_EQ(t.percentile(1.0), 100u);
+    EXPECT_EQ(t.percentile(0.0), 1u);
+    EXPECT_EQ(t.min(), 1u);
+    EXPECT_EQ(t.max(), 100u);
+    EXPECT_DOUBLE_EQ(t.mean(), 50.5);
+}
+
+TEST(Percentile, ExtremeTailEqualsMaxForSmallSamples)
+{
+    PercentileTracker t;
+    for (std::uint64_t v = 0; v < 1000; ++v)
+        t.add(v);
+    // 99.9999th percentile of 1000 samples = last sample.
+    EXPECT_EQ(t.percentile(0.999999), 999u);
+}
+
+TEST(Percentile, InterleavedAddAndQuery)
+{
+    PercentileTracker t;
+    t.add(5);
+    EXPECT_EQ(t.percentile(0.5), 5u);
+    t.add(1);
+    t.add(9);
+    EXPECT_EQ(t.percentile(0.5), 5u);
+    EXPECT_EQ(t.max(), 9u);
+}
+
+TEST(Histogram, BinsAndBounds)
+{
+    Histogram h(0.0, 1.0, 10);
+    h.add(0.5);
+    h.add(9.99);
+    h.add(-1.0);
+    h.add(10.0);
+    h.add(42.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.2);
+    EXPECT_DOUBLE_EQ(h.binLeft(3), 3.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(3), 3.5);
+}
+
+TEST(Histogram, WeightedAdds)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(1.5, 10);
+    EXPECT_EQ(h.binCount(1), 10u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Cdf, FractionAndQuantiles)
+{
+    Cdf c;
+    for (int i = 1; i <= 10; ++i)
+        c.add(i);
+    EXPECT_DOUBLE_EQ(c.fractionAtOrBelow(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(c.fractionAtOrBelow(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.fractionAtOrBelow(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.quantile(0.5), 5.0);
+    EXPECT_NEAR(c.mean(), 5.5, 1e-12);
+}
+
+TEST(Cdf, StddevOfConstantIsZero)
+{
+    Cdf c;
+    c.add(3.0);
+    c.add(3.0);
+    c.add(3.0);
+    EXPECT_DOUBLE_EQ(c.stddev(), 0.0);
+}
+
+TEST(Cdf, EvaluateAtGrid)
+{
+    Cdf c;
+    for (int i = 0; i < 100; ++i)
+        c.add(i);
+    const auto ys = c.evaluateAt({-1.0, 49.0, 99.0});
+    EXPECT_DOUBLE_EQ(ys[0], 0.0);
+    EXPECT_DOUBLE_EQ(ys[1], 0.5);
+    EXPECT_DOUBLE_EQ(ys[2], 1.0);
+}
+
+class PercentileRandomSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PercentileRandomSweep, MatchesSortedReference)
+{
+    Rng rng(GetParam());
+    PercentileTracker t;
+    std::vector<std::uint64_t> ref;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.below(1'000'000);
+        t.add(v);
+        ref.push_back(v);
+    }
+    std::sort(ref.begin(), ref.end());
+    for (const double p : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+        const auto rank = static_cast<std::size_t>(
+            std::ceil(p * ref.size()));
+        EXPECT_EQ(t.percentile(p), ref[rank - 1]) << "p=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileRandomSweep,
+                         ::testing::Values(3, 17, 99));
+
+} // namespace
+} // namespace aero

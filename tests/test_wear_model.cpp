@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for wear accounting and the RBER model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/erase_model.hh"
+#include "nand/wear_model.hh"
+
+namespace aero
+{
+namespace
+{
+
+TEST(WearModel, CumulativeDamageIsMonotone)
+{
+    WearModel w(ChipParams::tlc3d());
+    double prev = 0.0;
+    for (double p = 0.0; p <= 8000.0; p += 250.0) {
+        const double c = w.baselineCumDamage(p);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(WearModel, EquivalentPecInvertsCumDamage)
+{
+    WearModel w(ChipParams::tlc3d());
+    for (const double p : {100.0, 1000.0, 3000.0, 5300.0, 7000.0}) {
+        EXPECT_NEAR(w.equivalentPec(w.baselineCumDamage(p)), p,
+                    p * 0.01 + 1.0);
+    }
+    EXPECT_DOUBLE_EQ(w.equivalentPec(0.0), 0.0);
+}
+
+TEST(WearModel, DamagePerEraseGrowsWithPec)
+{
+    WearModel w(ChipParams::tlc3d());
+    EXPECT_GT(w.baselineDamagePerErase(3000.0),
+              5.0 * w.baselineDamagePerErase(0.0));
+    EXPECT_GT(w.baselineDamagePerErase(5000.0),
+              w.baselineDamagePerErase(3000.0));
+}
+
+TEST(WearModel, PopulationAverageDamageExceedsMeanBlockDamage)
+{
+    // Jensen: damage is convex in the requirement, so the pv-averaged
+    // per-erase damage must exceed the damage of the mean requirement.
+    const auto p = ChipParams::tlc3d();
+    WearModel w(p);
+    const double at_mean = baselineEraseDamage(p, p.anchorSlots(3000.0));
+    EXPECT_GT(w.baselineDamagePerErase(3000.0), at_mean);
+}
+
+TEST(WearModel, RberBaseIsLinearAndCrossesAt5300)
+{
+    const auto p = ChipParams::tlc3d();
+    WearModel w(p);
+    EXPECT_DOUBLE_EQ(w.rberBase(0.0), p.rber0);
+    // Linearity.
+    const double a = w.rberBase(1000.0) - w.rberBase(0.0);
+    const double b = w.rberBase(4000.0) - w.rberBase(3000.0);
+    EXPECT_NEAR(a, b, 1e-9);
+    // The paper's Baseline lifetime anchor: requirement 63 near 5.3K.
+    const double crossing = (63.0 - p.rber0) / p.rberCoeff * 1000.0;
+    EXPECT_NEAR(crossing, 5300.0, 500.0);
+}
+
+TEST(WearModel, ResidualRberShape)
+{
+    WearModel w(ChipParams::tlc3d());
+    // The last ~slot of leftover is absorbed by data randomization.
+    EXPECT_DOUBLE_EQ(w.residualRber(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.residualRber(1.0), 0.0);
+    EXPECT_GT(w.residualRber(2.0), 10.0);
+    EXPECT_GT(w.residualRber(3.0), w.residualRber(2.0));
+    // Deep leftovers blow up: an unerased block must never look usable.
+    EXPECT_GT(w.residualRber(4.0) - w.residualRber(3.0),
+              w.residualRber(3.0) - w.residualRber(2.0));
+    EXPECT_GT(w.residualRber(6.0), 100.0);
+}
+
+TEST(WearModel, Fig10SafetyConditions)
+{
+    // [C1]: N_ISPE <= 3 and F < delta -> skipping the final loop keeps
+    // M_RBER under the requirement. [C2]: N = 4 needs F < gamma.
+    // Typical PECs per row: N=2 ~2K, N=3 ~3K, N=4 ~4.2K (Fig. 4).
+    WearModel w(ChipParams::tlc3d());
+    const double req = 63.0;
+    // F <= delta => leftover ~2 slots; F <= gamma => leftover ~1 slot.
+    EXPECT_LT(w.rberBase(2000.0) + w.residualRber(2.0), req);  // C1, N=2
+    EXPECT_LT(w.rberBase(3000.0) + w.residualRber(2.0), req);  // C1, N=3
+    EXPECT_GT(w.rberBase(3000.0) + w.residualRber(3.2), req);  // !C1 @2d
+    EXPECT_LT(w.rberBase(4200.0) + w.residualRber(1.0), req);  // C2, N=4
+    EXPECT_GT(w.rberBase(4200.0) + w.residualRber(2.2), req);  // !C2 @d
+}
+
+TEST(WearModel, MaxRberCombinesBaseAndResidual)
+{
+    WearModel w(ChipParams::tlc3d());
+    const double wear = w.baselineCumDamage(2000.0);
+    EXPECT_DOUBLE_EQ(w.maxRber(wear, 0.0), w.rberBase(2000.0));
+    EXPECT_DOUBLE_EQ(w.maxRber(wear, 2.5),
+                     w.rberBase(2000.0) + w.residualRber(2.5));
+}
+
+TEST(WearModel, LeftoverForResidualInverts)
+{
+    WearModel w(ChipParams::tlc3d());
+    for (const double budget : {5.0, 15.0, 30.0, 60.0}) {
+        const double l = w.leftoverForResidual(budget);
+        EXPECT_LE(w.residualRber(l), budget + 1e-6);
+        EXPECT_GT(w.residualRber(l + 0.05), budget - 1.0);
+    }
+    EXPECT_DOUBLE_EQ(w.leftoverForResidual(0.0),
+                     ChipParams::tlc3d().residualOffset);
+}
+
+TEST(WearModel, PredictorIsConservative)
+{
+    // The FTL-side predictor assumes Baseline wear, so for a block erased
+    // more gently (lower true wear) it must over-estimate the base RBER.
+    WearModel w(ChipParams::tlc3d());
+    const double gentle_wear = 0.7 * w.baselineCumDamage(3000.0);
+    EXPECT_GE(w.predictedBaseRber(3000.0),
+              w.rberBase(w.equivalentPec(gentle_wear)));
+}
+
+TEST(WearModel, OtherChipTypesHaveOwnCurves)
+{
+    WearModel tlc(ChipParams::tlc3d());
+    WearModel mlc(ChipParams::mlc3d());
+    EXPECT_LT(mlc.rberBase(3000.0), tlc.rberBase(3000.0));
+}
+
+} // namespace
+} // namespace aero
