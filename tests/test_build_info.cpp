@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Build-sanity suite: asserts that the aero library links standalone and
+ * that the factory chip presets carry the geometry/physics invariants the
+ * rest of the repo depends on. If the CMake source list drops a
+ * translation unit, the link of this minimal binary fails loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/chip_params.hh"
+
+namespace aero
+{
+namespace
+{
+
+TEST(BuildInfo, CxxStandardIsAtLeast20)
+{
+    EXPECT_GE(__cplusplus, 202002L);
+}
+
+TEST(BuildInfo, Tlc3dGeometryInvariants)
+{
+    const ChipParams p = ChipParams::tlc3d();
+
+    EXPECT_EQ(p.type, ChipType::Tlc3d48L);
+    EXPECT_STREQ(p.name.c_str(), chipTypeName(ChipType::Tlc3d48L));
+
+    // ISPE timing: 0.5-ms slots, 7 slots per loop -> tEP = 3.5 ms.
+    EXPECT_EQ(p.tSlot, msToTicks(0.5));
+    EXPECT_EQ(p.slotsPerLoop, 7);
+    EXPECT_EQ(p.defaultTep(), msToTicks(3.5));
+    EXPECT_EQ(p.loopLatency(), p.defaultTep() + p.tVr);
+
+    // The escalation cap must leave headroom over the canonical schedule.
+    EXPECT_GT(p.maxLoops, p.nominalMaxNIspe);
+    EXPECT_GE(p.maxLevel, p.maxLoops);
+
+    // Canonical schedule: level 1 for the first loop, +1 per loop.
+    EXPECT_EQ(p.scheduleLevel(0.0), 1);
+    EXPECT_EQ(p.scheduleLevel(static_cast<double>(p.slotsPerLoop)), 2);
+
+    // Damage grows with the ISPE level.
+    EXPECT_DOUBLE_EQ(p.dmgPerSlot(1), 1.0);
+    EXPECT_GT(p.dmgPerSlot(2), p.dmgPerSlot(1));
+}
+
+TEST(BuildInfo, AllPresetsRoundTripThroughForType)
+{
+    for (const auto t : {ChipType::Tlc3d48L, ChipType::Tlc2d,
+                         ChipType::Mlc3d48L}) {
+        const ChipParams p = ChipParams::forType(t);
+        EXPECT_EQ(p.type, t);
+        EXPECT_STREQ(p.name.c_str(), chipTypeName(t));
+        EXPECT_GT(p.fPass, 0.0);
+        EXPECT_GT(p.delta, 0.0);
+        // The erase-requirement curve must be defined at both ends of the
+        // lifetime range the benchmarks sweep.
+        EXPECT_GT(p.anchorSlots(0.0), 0.0);
+        EXPECT_GT(p.anchorSlots(8000.0), p.anchorSlots(0.0));
+    }
+}
+
+} // namespace
+} // namespace aero

@@ -140,8 +140,9 @@ TEST(Fig10, ReliabilityMarginAndSafetyConditions)
     for (const auto &row : data.complete) {
         EXPECT_GE(row.maxMrber, prev);
         prev = row.maxMrber;
-        if (row.nIspe == 1)
+        if (row.nIspe == 1) {
             EXPECT_GT(row.margin, 20.0);
+        }
     }
     // (b) Insufficient erasure: C1 (N<=3, F<=d) safe; 2d unsafe; the
     // N=5 rows must never be safe above gamma.
@@ -160,8 +161,9 @@ TEST(Fig10, ReliabilityMarginAndSafetyConditions)
                 << "unexpectedly safe at N=" << row.nIspe
                 << " range=" << row.range;
         }
-        if (row.nIspe == 5 && row.range >= 1)
+        if (row.nIspe == 5 && row.range >= 1) {
             EXPECT_FALSE(row.safe);
+        }
     }
     EXPECT_TRUE(saw_c1);
 }
