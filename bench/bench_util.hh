@@ -1,15 +1,22 @@
 /**
  * @file
- * Shared formatting helpers for the figure/table reproduction binaries.
- * Each bench prints the rows/series of one table or figure of the paper,
- * side by side with the paper's reference numbers where applicable.
+ * Shared helpers for the figure/table reproduction binaries. Each bench
+ * prints the rows/series of one table or figure of the paper, side by
+ * side with the paper's reference numbers where applicable, and — via
+ * Artifacts — drops a machine-readable JSON/CSV copy of the same numbers
+ * when invoked with `--json <path>` and/or `--csv <path>`.
  */
 
 #ifndef AERO_BENCH_BENCH_UTIL_HH
 #define AERO_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "exp/report.hh"
 
 namespace aero::bench
 {
@@ -30,6 +37,58 @@ inline void
 note(const std::string &text)
 {
     std::printf("  [%s]\n", text.c_str());
+}
+
+/** Where a bench should drop machine-readable copies of its output. */
+struct Artifacts
+{
+    std::string jsonPath;
+    std::string csvPath;
+
+    bool wantJson() const { return !jsonPath.empty(); }
+    bool wantCsv() const { return !csvPath.empty(); }
+
+    /** Write the standard sweep artifacts (whichever were requested). */
+    void
+    writeSweep(const SweepSpec &spec,
+               const std::vector<SimResult> &results) const
+    {
+        if (wantJson())
+            writeJsonFile(jsonPath, sweepReport(spec, results));
+        if (wantCsv())
+            writeTextFile(csvPath, toCsv(results));
+    }
+
+    /** Write a bench-specific JSON document (fig13, tab03, ...). */
+    void
+    writeJson(const Json &doc) const
+    {
+        if (wantJson())
+            writeJsonFile(jsonPath, doc);
+    }
+};
+
+/** Parse `--json <path>` / `--csv <path>`; fatal on anything else. */
+inline Artifacts
+parseArtifactArgs(int argc, char **argv)
+{
+    Artifacts out;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        std::string *dest = nullptr;
+        if (std::strcmp(arg, "--json") == 0)
+            dest = &out.jsonPath;
+        else if (std::strcmp(arg, "--csv") == 0)
+            dest = &out.csvPath;
+        else
+            AERO_FATAL("unknown argument '", arg,
+                       "' (usage: ", argv[0],
+                       " [--json <path>] [--csv <path>])");
+        if (i + 1 >= argc)
+            AERO_FATAL(arg, " needs a file path");
+        *dest = argv[++i];
+    }
+    return out;
 }
 
 } // namespace aero::bench

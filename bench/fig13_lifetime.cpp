@@ -2,6 +2,9 @@
  * @file
  * Reproduces Fig. 13: average max-RBER vs P/E cycles for the five erase
  * schemes, and the lifetimes where each crosses the 63-bit requirement.
+ * The five endurance runs are independent, so they fan out over
+ * parallelMap; `--json` drops the lifetimes and the full RBER curves,
+ * `--csv` the per-scheme summary rows.
  *
  * Paper reference: Baseline 5.3K; i-ISPE -25%; DPES +26%; AERO-CONS
  * +30%; AERO +43%. AERO starts high (M_RBER(0) = 46) but grows slowly.
@@ -9,19 +12,21 @@
 
 #include "bench_util.hh"
 #include "devchar/lifetime.hh"
+#include "exp/sweep.hh"
 
 using namespace aero;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto artifacts = bench::parseArtifactArgs(argc, argv);
     bench::header("Figure 13: SSD lifetime and reliability comparison");
     LifetimeConfig cfg;
     cfg.farm.numChips = 16;
     cfg.farm.blocksPerChip = 24;
     cfg.checkpointEvery = 250;
-    LifetimeTester tester(cfg);
-    const auto results = tester.runAll();
+    const LifetimeTester tester(cfg);
+    const auto results = tester.runAll();  // parallel across schemes
 
     const double base_life = results.front().lifetimePec;
     bench::rule();
@@ -58,5 +63,45 @@ main()
         std::printf("\n");
     }
     bench::note("requirement = 63 raw bit errors per 1 KiB");
+
+    if (artifacts.wantJson()) {
+        Json doc = Json::object();
+        doc["schema"] = "aero-fig13/1";
+        doc["rber_requirement"] = cfg.rberRequirement;
+        Json rows = Json::array();
+        for (const auto &r : results) {
+            Json row = Json::object();
+            row["scheme"] = schemeKindName(r.scheme);
+            row["lifetime_pec"] = r.lifetimePec;
+            row["crossed"] = r.crossed;
+            row["fresh_mrber"] = r.freshMrber;
+            row["avg_erase_ms"] = r.avgEraseLatencyMs;
+            row["avg_loops"] = r.avgLoops;
+            Json curve = Json::array();
+            for (const auto &[pec, mrber] : r.curve) {
+                Json pt = Json::array();
+                pt.push(pec);
+                pt.push(mrber);
+                curve.push(std::move(pt));
+            }
+            row["curve"] = std::move(curve);
+            rows.push(std::move(row));
+        }
+        doc["results"] = std::move(rows);
+        artifacts.writeJson(doc);
+    }
+    if (artifacts.wantCsv()) {
+        std::string csv = "scheme,lifetime_pec,crossed,fresh_mrber,"
+                          "avg_erase_ms,avg_loops\n";
+        for (const auto &r : results) {
+            csv += schemeKindName(r.scheme);
+            csv += ',' + std::to_string(r.lifetimePec);
+            csv += r.crossed ? ",1" : ",0";
+            csv += ',' + std::to_string(r.freshMrber);
+            csv += ',' + std::to_string(r.avgEraseLatencyMs);
+            csv += ',' + std::to_string(r.avgLoops) + '\n';
+        }
+        writeTextFile(artifacts.csvPath, csv);
+    }
     return 0;
 }

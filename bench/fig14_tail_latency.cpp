@@ -4,6 +4,12 @@
  * latency for the eleven Table-3 workloads at PEC {0.5K, 2.5K, 4.5K},
  * across the five erase schemes (all normalized to Baseline).
  *
+ * The whole 11 x 5 x 3 x 3-seed grid is declared once as a SweepSpec and
+ * executed by SweepRunner across AERO_SWEEP_THREADS worker threads; the
+ * printed table walks the deterministic result order via SweepSpec::index.
+ * `--json`/`--csv` drop the raw per-point rows as machine-readable
+ * artifacts.
+ *
  * Paper reference: AERO reduces the two tail percentiles by 22% / 26% on
  * average, with benefits of <26,25,13>% / <43,23,5>% at the three PEC
  * points; DPES sometimes regresses (write-latency penalty); i-ISPE
@@ -12,72 +18,77 @@
  * Request count per run: AERO_SIM_REQUESTS (default 60000).
  */
 
-#include <map>
+#include <cmath>
 
 #include "bench_util.hh"
-#include "devchar/simstudy.hh"
+#include "exp/sweep.hh"
 
 using namespace aero;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto artifacts = bench::parseArtifactArgs(argc, argv);
     bench::header("Figure 14: read tail latency (normalized to Baseline)");
-    const auto requests = defaultSimRequests();
-    std::printf("requests/run: %llu (env AERO_SIM_REQUESTS)\n",
-                static_cast<unsigned long long>(requests));
 
-    for (const double pec : paperPecPoints()) {
-        std::printf("\nPEC = %.1fK\n", pec / 1000.0);
+    constexpr int kSeeds = 3;  // tail noise reduction
+    const SweepSpec spec = SweepBuilder()
+                               .allTable3Workloads()
+                               .allSchemes()
+                               .paperPecs()
+                               .repeats(kSeeds)
+                               .requests(defaultSimRequests())
+                               .build();
+    std::printf("requests/run: %llu (env AERO_SIM_REQUESTS), "
+                "%zu points on %d threads (env AERO_SWEEP_THREADS)\n",
+                static_cast<unsigned long long>(spec.requests), spec.size(),
+                SweepRunner().threads());
+    const auto results = SweepRunner().run(spec);
+    artifacts.writeSweep(spec, results);
+
+    // Geometric mean over seeds of one result metric.
+    const auto geoSeeds = [&](std::size_t pi, std::size_t wi,
+                              std::size_t si, double SimResult::*metric) {
+        double acc = 0.0;
+        for (std::size_t se = 0; se < spec.seeds.size(); ++se)
+            acc += std::log(results[spec.index(pi, 0, wi, si, 0, 0, se)].*
+                            metric);
+        return std::exp(acc / static_cast<double>(spec.seeds.size()));
+    };
+
+    for (std::size_t pi = 0; pi < spec.pecs.size(); ++pi) {
+        std::printf("\nPEC = %.1fK\n", spec.pecs[pi] / 1000.0);
         bench::rule();
         std::printf("%-7s", "wl");
-        for (const auto k : allSchemes())
+        for (const auto k : spec.schemes)
             std::printf(" | %9s", schemeKindName(k));
         std::printf("   (p99.99 / p99.9999)\n");
         bench::rule();
         // Geometric means across workloads, per scheme.
-        std::map<SchemeKind, std::pair<double, double>> geo;
-        std::map<SchemeKind, int> geo_n;
-        constexpr int kSeeds = 3;  // tail noise reduction
-        for (const auto &wl : table3Workloads()) {
-            double base9999 = 0.0, base6 = 0.0;
-            std::printf("%-7s", wl.name.c_str());
-            for (const auto k : allSchemes()) {
-                double g9999 = 0.0, g6 = 0.0;
-                for (int seed = 0; seed < kSeeds; ++seed) {
-                    SimPoint pt;
-                    pt.workload = wl.name;
-                    pt.scheme = k;
-                    pt.pec = pec;
-                    pt.requests = requests;
-                    pt.seed = 7 + 1000ULL * seed;
-                    const auto r = runSimPoint(pt);
-                    g9999 += std::log(r.p9999Us);
-                    g6 += std::log(r.p999999Us);
-                }
-                const double p9999 = std::exp(g9999 / kSeeds);
-                const double p6 = std::exp(g6 / kSeeds);
-                if (k == SchemeKind::Baseline) {
-                    base9999 = p9999;
-                    base6 = p6;
-                }
-                const double n9999 = p9999 / base9999;
-                const double n6 = p6 / base6;
+        std::vector<std::pair<double, double>> geo(spec.schemes.size());
+        for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi) {
+            const double base9999 =
+                geoSeeds(pi, wi, 0, &SimResult::p9999Us);
+            const double base6 =
+                geoSeeds(pi, wi, 0, &SimResult::p999999Us);
+            std::printf("%-7s", spec.workloads[wi].c_str());
+            for (std::size_t si = 0; si < spec.schemes.size(); ++si) {
+                const double n9999 =
+                    geoSeeds(pi, wi, si, &SimResult::p9999Us) / base9999;
+                const double n6 =
+                    geoSeeds(pi, wi, si, &SimResult::p999999Us) / base6;
                 std::printf(" | %4.2f %4.2f", n9999, n6);
-                auto &[g1, g2] = geo[k];
-                g1 += std::log(n9999);
-                g2 += std::log(n6);
-                geo_n[k] += 1;
+                geo[si].first += std::log(n9999);
+                geo[si].second += std::log(n6);
             }
             std::printf("\n");
         }
         bench::rule();
         std::printf("%-7s", "G.M.");
-        for (const auto k : allSchemes()) {
-            const auto &[g1, g2] = geo[k];
-            std::printf(" | %4.2f %4.2f", std::exp(g1 / geo_n[k]),
-                        std::exp(g2 / geo_n[k]));
-        }
+        const double n = static_cast<double>(spec.workloads.size());
+        for (const auto &[g1, g2] : geo)
+            std::printf(" | %4.2f %4.2f", std::exp(g1 / n),
+                        std::exp(g2 / n));
         std::printf("\n");
     }
     bench::note("paper G.M. for AERO: p99.9999 0.57/0.77/0.95 at "

@@ -3,7 +3,8 @@
  * Reproduces Fig. 15: impact of erase suspension on read tail latency.
  * Compares Baseline / AERO-CONS / AERO with suspension enabled and
  * disabled, at the three PEC points, normalized to Baseline WITHOUT
- * suspension.
+ * suspension. The 3 x 2 x 3 grid runs through SweepRunner; `--json` /
+ * `--csv` drop the raw rows.
  *
  * Paper reference: without suspension AERO cuts the 99.9999th percentile
  * by <45,44,16>% vs <43,23,5>% with suspension; suspension itself
@@ -11,47 +12,51 @@
  */
 
 #include "bench_util.hh"
-#include "devchar/simstudy.hh"
+#include "exp/sweep.hh"
 
 using namespace aero;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto artifacts = bench::parseArtifactArgs(argc, argv);
     bench::header("Figure 15: erase suspension vs AERO");
-    const auto requests = defaultSimRequests();
-    const SchemeKind kinds[] = {SchemeKind::Baseline,
-                                SchemeKind::AeroCons, SchemeKind::Aero};
-    const char *wl = "prxy";
-    std::printf("workload %s, %llu requests/run\n", wl,
-                static_cast<unsigned long long>(requests));
+
+    const SweepSpec spec =
+        SweepBuilder()
+            .workload("prxy")
+            .schemes({SchemeKind::Baseline, SchemeKind::AeroCons,
+                      SchemeKind::Aero})
+            .paperPecs()
+            .suspensions(
+                {SuspensionMode::None, SuspensionMode::MidSegment})
+            .requests(defaultSimRequests())
+            .build();
+    std::printf("workload prxy, %llu requests/run, %zu points on %d "
+                "threads\n",
+                static_cast<unsigned long long>(spec.requests), spec.size(),
+                SweepRunner().threads());
+    const auto results = SweepRunner().run(spec);
+    artifacts.writeSweep(spec, results);
+
     bench::rule();
     std::printf("%6s | %-10s | %10s | %18s | %18s\n", "PEC", "scheme",
                 "suspension", "p99.99 (norm)", "p99.9999 (norm)");
     bench::rule();
-    for (const double pec : paperPecPoints()) {
-        double base9999 = 0.0, base6 = 0.0;
-        for (const auto mode :
-             {SuspensionMode::None, SuspensionMode::MidSegment}) {
-            for (const auto k : kinds) {
-                SimPoint pt;
-                pt.workload = wl;
-                pt.scheme = k;
-                pt.pec = pec;
-                pt.suspension = mode;
-                pt.requests = requests;
-                const auto r = runSimPoint(pt);
-                if (mode == SuspensionMode::None &&
-                    k == SchemeKind::Baseline) {
-                    base9999 = r.p9999Us;
-                    base6 = r.p999999Us;
-                }
+    for (std::size_t pi = 0; pi < spec.pecs.size(); ++pi) {
+        // Normalize to Baseline without suspension (susp index 0).
+        const auto &base = results[spec.index(pi, 0, 0, 0, 0, 0, 0)];
+        for (std::size_t mi = 0; mi < spec.suspensions.size(); ++mi) {
+            for (std::size_t si = 0; si < spec.schemes.size(); ++si) {
+                const auto &r = results[spec.index(pi, mi, 0, si, 0, 0, 0)];
                 std::printf("%6.0f | %-10s | %10s | %9.0fus (%4.2f) | "
                             "%9.0fus (%4.2f)\n",
-                            pec, schemeKindName(k),
-                            mode == SuspensionMode::None ? "off" : "on",
-                            r.p9999Us, r.p9999Us / base9999,
-                            r.p999999Us, r.p999999Us / base6);
+                            spec.pecs[pi], schemeKindName(spec.schemes[si]),
+                            spec.suspensions[mi] == SuspensionMode::None
+                                ? "off"
+                                : "on",
+                            r.p9999Us, r.p9999Us / base.p9999Us,
+                            r.p999999Us, r.p999999Us / base.p999999Us);
             }
         }
         bench::rule();

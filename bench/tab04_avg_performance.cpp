@@ -2,7 +2,8 @@
  * @file
  * Reproduces Table 4: average read/write latency and IOPS of the four
  * non-baseline schemes, normalized to Baseline, geometric-mean across
- * the eleven workloads at PEC {0.5K, 2.5K, 4.5K}.
+ * the eleven workloads at PEC {0.5K, 2.5K, 4.5K}. The 11 x 5 x 3 grid
+ * runs through SweepRunner; `--json`/`--csv` drop the raw rows.
  *
  * Paper reference: all schemes ~100% except DPES, whose write latency
  * grows to 110.8% / 135.6% (and IOPS drops) while its voltage scaling is
@@ -10,59 +11,51 @@
  */
 
 #include <cmath>
-#include <map>
 
 #include "bench_util.hh"
-#include "devchar/simstudy.hh"
+#include "exp/sweep.hh"
 
 using namespace aero;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto artifacts = bench::parseArtifactArgs(argc, argv);
     bench::header("Table 4: average I/O performance (normalized %)");
-    const auto requests = defaultSimRequests();
-    std::printf("requests/run: %llu\n",
-                static_cast<unsigned long long>(requests));
+
+    const SweepSpec spec = SweepBuilder()
+                               .allTable3Workloads()
+                               .allSchemes()
+                               .paperPecs()
+                               .requests(defaultSimRequests())
+                               .build();
+    std::printf("requests/run: %llu, %zu points on %d threads\n",
+                static_cast<unsigned long long>(spec.requests), spec.size(),
+                SweepRunner().threads());
+    const auto results = SweepRunner().run(spec);
+    artifacts.writeSweep(spec, results);
+
     bench::rule();
     std::printf("%-10s | %6s | %10s | %11s | %9s\n", "scheme", "PEC",
                 "avg read", "avg write", "IOPS");
     bench::rule();
-    struct Acc { double gr = 0, gw = 0, gi = 0; int n = 0; };
-    std::map<std::pair<int, int>, Acc> acc;  // (scheme, pec index)
-    const auto &pecs = paperPecPoints();
-    for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
-        for (const auto &wl : table3Workloads()) {
-            SimResult base;
-            for (std::size_t si = 0; si < allSchemes().size(); ++si) {
-                SimPoint pt;
-                pt.workload = wl.name;
-                pt.pec = pecs[pi];
-                pt.requests = requests;
-                pt.scheme = allSchemes()[si];
-                const auto r = runSimPoint(pt);
-                if (si == 0) {
-                    base = r;
-                    continue;
-                }
-                auto &a = acc[{static_cast<int>(si),
-                               static_cast<int>(pi)}];
-                a.gr += std::log(r.avgReadUs / base.avgReadUs);
-                a.gw += std::log(r.avgWriteUs / base.avgWriteUs);
-                a.gi += std::log(r.iops / base.iops);
-                a.n += 1;
+    for (std::size_t si = 1; si < spec.schemes.size(); ++si) {
+        for (std::size_t pi = 0; pi < spec.pecs.size(); ++pi) {
+            double gr = 0, gw = 0, gi = 0;
+            for (std::size_t wi = 0; wi < spec.workloads.size(); ++wi) {
+                const auto &base =
+                    results[spec.index(pi, 0, wi, 0, 0, 0, 0)];
+                const auto &r =
+                    results[spec.index(pi, 0, wi, si, 0, 0, 0)];
+                gr += std::log(r.avgReadUs / base.avgReadUs);
+                gw += std::log(r.avgWriteUs / base.avgWriteUs);
+                gi += std::log(r.iops / base.iops);
             }
-        }
-    }
-    for (std::size_t si = 1; si < allSchemes().size(); ++si) {
-        for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
-            const auto &a = acc[{static_cast<int>(si),
-                                 static_cast<int>(pi)}];
+            const double n = static_cast<double>(spec.workloads.size());
             std::printf("%-10s | %6.0f | %9.1f%% | %10.1f%% | %8.1f%%\n",
-                        schemeKindName(allSchemes()[si]), pecs[pi],
-                        100.0 * std::exp(a.gr / a.n),
-                        100.0 * std::exp(a.gw / a.n),
-                        100.0 * std::exp(a.gi / a.n));
+                        schemeKindName(spec.schemes[si]), spec.pecs[pi],
+                        100.0 * std::exp(gr / n), 100.0 * std::exp(gw / n),
+                        100.0 * std::exp(gi / n));
         }
         bench::rule();
     }

@@ -6,57 +6,79 @@
  * AERO: erase operations rarely touch the average but dominate the
  * 99.99th+ percentiles, and AERO shrinks exactly those.
  *
- * Usage: tail_latency_comparison [workload] [pec] [requests]
+ * The five drives are declared as one SweepSpec and simulated in
+ * parallel by SweepRunner (AERO_SWEEP_THREADS controls the pool).
+ *
+ * Usage: tail_latency_comparison [workload] [pec] [requests] [--json out]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
-#include "ssd/ssd.hh"
-#include "workload/synthetic.hh"
+#include "exp/report.hh"
+#include "exp/sweep.hh"
 
 using namespace aero;
 
 int
 main(int argc, char **argv)
 {
-    const char *wl = argc > 1 ? argv[1] : "ali.D";
-    const double pec = argc > 2 ? std::atof(argv[2]) : 2500.0;
-    const std::uint64_t requests =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 30000;
+    const char *wl = "ali.D";
+    double pec = 2500.0;
+    std::uint64_t requests = 30000;
+    std::string json_path;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json needs a file path\n");
+                return 1;
+            }
+            json_path = argv[++i];
+            continue;
+        }
+        switch (positional++) {
+          case 0: wl = argv[i]; break;
+          case 1: pec = std::atof(argv[i]); break;
+          case 2: requests = std::strtoull(argv[i], nullptr, 10); break;
+          default:
+            std::fprintf(stderr, "unexpected argument '%s' (usage: %s "
+                                 "[workload] [pec] [requests] "
+                                 "[--json out])\n",
+                         argv[i], argv[0]);
+            return 1;
+        }
+    }
 
-    std::printf("workload %s at %.0f P/E cycles, %llu requests\n\n", wl,
-                pec, static_cast<unsigned long long>(requests));
+    const SweepSpec spec = SweepBuilder()
+                               .workload(wl)
+                               .allSchemes()
+                               .pec(pec)
+                               .requests(requests)
+                               .seed(7)
+                               .build();
+
+    std::printf("workload %s at %.0f P/E cycles, %llu requests, "
+                "%d sweep threads\n\n",
+                wl, pec, static_cast<unsigned long long>(requests),
+                SweepRunner().threads());
+    const auto results = SweepRunner().run(spec);
+    if (!json_path.empty())
+        writeJsonFile(json_path, sweepReport(spec, results));
+
     std::printf("%-10s | %8s | %8s | %8s | %8s | %9s\n", "scheme",
-                "avg[us]", "p99.9", "p99.99", "max[us]", "erase[ms]");
-    std::printf("%s\n", std::string(68, '-').c_str());
+                "avg[us]", "p99.9", "p99.99", "p99.9999", "erase[ms]");
+    std::printf("%s\n", std::string(70, '-').c_str());
 
-    double base_9999 = 0.0;
-    for (const auto kind :
-         {SchemeKind::Baseline, SchemeKind::IIspe, SchemeKind::Dpes,
-          SchemeKind::AeroCons, SchemeKind::Aero}) {
-        SsdConfig cfg = SsdConfig::bench();
-        cfg.scheme = kind;
-        cfg.initialPec = pec;
-        Ssd ssd(cfg);
-
-        SyntheticConfig wc;
-        wc.spec = workloadByName(wl);
-        wc.footprintPages = ssd.config().logicalPages();
-        wc.numRequests = requests;
-        ssd.run(generateTrace(wc));
-
-        const auto &m = ssd.metrics();
-        const double p9999 = ticksToUs(m.readLatency.percentile(0.9999));
-        if (kind == SchemeKind::Baseline)
-            base_9999 = p9999;
+    const double base_9999 = results.front().p9999Us;
+    for (const auto &r : results) {
         std::printf("%-10s | %8.1f | %8.0f | %8.0f | %8.0f | %9.2f"
                     "   (p99.99 %.2fx)\n",
-                    schemeKindName(kind),
-                    m.readLatency.mean() / static_cast<double>(kUs),
-                    ticksToUs(m.readLatency.percentile(0.999)), p9999,
-                    ticksToUs(m.readLatency.max()),
-                    m.avgEraseLatencyMs(), p9999 / base_9999);
+                    schemeKindName(r.point.scheme), r.avgReadUs, r.p999Us,
+                    r.p9999Us, r.p999999Us, r.avgEraseMs,
+                    r.p9999Us / base_9999);
     }
     std::printf("\nAERO attacks the tail: erases are rare, so averages "
                 "barely move, but every\nblocked read at the 99.99th "

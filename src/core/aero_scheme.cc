@@ -3,13 +3,35 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "erase/baseline_ispe.hh"
-#include "erase/dpes.hh"
-#include "erase/i_ispe.hh"
+#include "erase/scheme_registry.hh"
 #include "nand/erase_model.hh"
 
 namespace aero
 {
+
+namespace detail
+{
+void linkAeroSchemes() {}
+} // namespace detail
+
+namespace
+{
+
+const SchemeRegistrar kRegisterAeroCons{
+    "AERO-CONS", SchemeKind::AeroCons,
+    [](NandChip &chip, const SchemeOptions &opts) {
+        return std::make_unique<AeroScheme>(chip, opts, false,
+                                            Ept::canonical(chip.params()));
+    }};
+
+const SchemeRegistrar kRegisterAero{
+    "AERO", SchemeKind::Aero,
+    [](NandChip &chip, const SchemeOptions &opts) {
+        return std::make_unique<AeroScheme>(chip, opts, true,
+                                            Ept::canonical(chip.params()));
+    }};
+
+} // namespace
 
 /**
  * One in-flight AERO erase operation. Each nextSegment() call performs one
@@ -249,21 +271,7 @@ AeroScheme::begin(BlockId id)
 std::unique_ptr<EraseScheme>
 makeEraseScheme(SchemeKind kind, NandChip &chip, const SchemeOptions &opts)
 {
-    switch (kind) {
-      case SchemeKind::Baseline:
-        return std::make_unique<BaselineIspe>(chip, opts);
-      case SchemeKind::IIspe:
-        return std::make_unique<IntelligentIspe>(chip, opts);
-      case SchemeKind::Dpes:
-        return std::make_unique<Dpes>(chip, opts);
-      case SchemeKind::AeroCons:
-        return std::make_unique<AeroScheme>(
-            chip, opts, false, Ept::canonical(chip.params()));
-      case SchemeKind::Aero:
-        return std::make_unique<AeroScheme>(
-            chip, opts, true, Ept::canonical(chip.params()));
-    }
-    AERO_PANIC("unknown scheme kind");
+    return EraseSchemeRegistry::instance().make(kind, chip, opts);
 }
 
 } // namespace aero

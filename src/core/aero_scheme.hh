@@ -74,7 +74,10 @@ class AeroScheme : public EraseScheme
     AeroStats counters;
 };
 
-/** Construct any of the five compared schemes (factory). */
+/**
+ * Construct any of the five compared schemes (SchemeKind compat shim;
+ * delegates to the string-keyed EraseSchemeRegistry).
+ */
 std::unique_ptr<EraseScheme> makeEraseScheme(SchemeKind kind, NandChip &chip,
                                              const SchemeOptions &opts);
 

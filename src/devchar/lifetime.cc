@@ -1,6 +1,7 @@
 #include "devchar/lifetime.hh"
 
 #include "core/aero_scheme.hh"
+#include "exp/sweep_impl.hh"
 
 namespace aero
 {
@@ -72,13 +73,10 @@ LifetimeTester::run(SchemeKind scheme) const
 std::vector<LifetimeResult>
 LifetimeTester::runAll() const
 {
-    std::vector<LifetimeResult> out;
-    for (const auto k : {SchemeKind::Baseline, SchemeKind::IIspe,
-                         SchemeKind::Dpes, SchemeKind::AeroCons,
-                         SchemeKind::Aero}) {
-        out.push_back(run(k));
-    }
-    return out;
+    const std::vector<SchemeKind> kinds = {
+        SchemeKind::Baseline, SchemeKind::IIspe, SchemeKind::Dpes,
+        SchemeKind::AeroCons, SchemeKind::Aero};
+    return parallelMap(kinds, [this](SchemeKind k) { return run(k); });
 }
 
 } // namespace aero

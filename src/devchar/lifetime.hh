@@ -47,7 +47,10 @@ class LifetimeTester
 
     LifetimeResult run(SchemeKind scheme) const;
 
-    /** Run all five schemes (the full Fig. 13). */
+    /**
+     * Run all five schemes (the full Fig. 13), fanned out across the
+     * sweep thread pool (AERO_SWEEP_THREADS); results in paper order.
+     */
     std::vector<LifetimeResult> runAll() const;
 
   private:

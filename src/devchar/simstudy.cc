@@ -1,6 +1,9 @@
 #include "devchar/simstudy.hh"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/logging.hh"
 
 namespace aero
 {
@@ -8,12 +11,20 @@ namespace aero
 std::uint64_t
 defaultSimRequests(std::uint64_t fallback)
 {
-    if (const char *env = std::getenv("AERO_SIM_REQUESTS")) {
-        const auto v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
+    const char *env = std::getenv("AERO_SIM_REQUESTS");
+    if (env == nullptr)
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    const auto v = std::strtoull(env, &end, 10);
+    if (*env == '\0' || end == nullptr || *end != '\0' || errno == ERANGE ||
+        env[0] == '-') {
+        AERO_FATAL("AERO_SIM_REQUESTS must be a positive integer, got '",
+                   env, "'");
     }
-    return fallback;
+    if (v == 0)
+        AERO_FATAL("AERO_SIM_REQUESTS must be > 0, got '", env, "'");
+    return v;
 }
 
 const std::vector<SchemeKind> &
@@ -36,7 +47,13 @@ paperPecPoints()
 SimResult
 runSimPoint(const SimPoint &point)
 {
-    SsdConfig cfg = SsdConfig::bench();
+    return runSimPoint(point, SsdConfig::bench());
+}
+
+SimResult
+runSimPoint(const SimPoint &point, const SsdConfig &base)
+{
+    SsdConfig cfg = base;
     cfg.scheme = point.scheme;
     cfg.initialPec = point.pec;
     cfg.suspension = point.suspension;

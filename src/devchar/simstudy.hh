@@ -49,6 +49,12 @@ struct SimResult
 /** Run one grid point on the bench-scale SSD. */
 SimResult runSimPoint(const SimPoint &point);
 
+/**
+ * Run one grid point on a caller-chosen base drive (the point's axes
+ * overwrite the scheme/PEC/suspension/option fields of @p base).
+ */
+SimResult runSimPoint(const SimPoint &point, const SsdConfig &base);
+
 /** Default request count, overridable via the AERO_SIM_REQUESTS env. */
 std::uint64_t defaultSimRequests(std::uint64_t fallback = 120000);
 

@@ -1,0 +1,176 @@
+#include "erase/scheme_registry.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+namespace detail
+{
+
+// Defined next to each scheme's registrar. Referencing them here forces
+// the linker to keep those TUs — and hence their self-registration
+// objects — when the library is linked statically.
+void linkBaselineScheme();
+void linkIIspeScheme();
+void linkDpesScheme();
+void linkAeroSchemes();
+
+} // namespace detail
+
+namespace
+{
+
+/** Lowercase and drop '-'/'_' so "AERO_CONS" matches "AERO-CONS". */
+std::string
+foldName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        if (c == '-' || c == '_')
+            continue;
+        out.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+} // namespace
+
+EraseSchemeRegistry &
+EraseSchemeRegistry::instance()
+{
+    detail::linkBaselineScheme();
+    detail::linkIIspeScheme();
+    detail::linkDpesScheme();
+    detail::linkAeroSchemes();
+    static EraseSchemeRegistry registry;
+    return registry;
+}
+
+void
+EraseSchemeRegistry::add(const std::string &name, SchemeKind kind,
+                         Factory factory)
+{
+    AERO_CHECK(factory != nullptr, "null factory for scheme ", name);
+    AERO_CHECK(find(name) == nullptr, "duplicate scheme name: ", name);
+    AERO_CHECK(find(kind) == nullptr,
+               "duplicate scheme kind for name: ", name);
+    entries.push_back(Entry{name, kind, std::move(factory)});
+    // Keep the paper's comparison order regardless of static-init order.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+              });
+}
+
+const EraseSchemeRegistry::Entry *
+EraseSchemeRegistry::find(const std::string &name) const
+{
+    const std::string folded = foldName(name);
+    for (const auto &e : entries) {
+        if (foldName(e.name) == folded)
+            return &e;
+    }
+    return nullptr;
+}
+
+const EraseSchemeRegistry::Entry *
+EraseSchemeRegistry::find(SchemeKind kind) const
+{
+    for (const auto &e : entries) {
+        if (e.kind == kind)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+EraseSchemeRegistry::unknownName(const std::string &name) const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        os << (i ? ", " : "") << entries[i].name;
+    AERO_FATAL("unknown erase scheme: '", name,
+               "' (valid names: ", os.str(), ")");
+}
+
+bool
+EraseSchemeRegistry::contains(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+SchemeKind
+EraseSchemeRegistry::kindOf(const std::string &name) const
+{
+    const Entry *e = find(name);
+    if (e == nullptr)
+        unknownName(name);
+    return e->kind;
+}
+
+const std::string &
+EraseSchemeRegistry::nameOf(SchemeKind kind) const
+{
+    const Entry *e = find(kind);
+    AERO_CHECK(e != nullptr,
+               "scheme kind not registered: ", static_cast<int>(kind));
+    return e->name;
+}
+
+std::unique_ptr<EraseScheme>
+EraseSchemeRegistry::make(const std::string &name, NandChip &chip,
+                          const SchemeOptions &opts) const
+{
+    const Entry *e = find(name);
+    if (e == nullptr)
+        unknownName(name);
+    return e->factory(chip, opts);
+}
+
+std::unique_ptr<EraseScheme>
+EraseSchemeRegistry::make(SchemeKind kind, NandChip &chip,
+                          const SchemeOptions &opts) const
+{
+    const Entry *e = find(kind);
+    AERO_CHECK(e != nullptr,
+               "scheme kind not registered: ", static_cast<int>(kind));
+    return e->factory(chip, opts);
+}
+
+std::vector<std::string>
+EraseSchemeRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &e : entries)
+        out.push_back(e.name);
+    return out;
+}
+
+SchemeRegistrar::SchemeRegistrar(const char *name, SchemeKind kind,
+                                 EraseSchemeRegistry::Factory factory)
+{
+    EraseSchemeRegistry::instance().add(name, kind, std::move(factory));
+}
+
+SchemeKind
+schemeKindFromName(const std::string &name)
+{
+    return EraseSchemeRegistry::instance().kindOf(name);
+}
+
+std::unique_ptr<EraseScheme>
+makeEraseScheme(const std::string &name, NandChip &chip,
+                const SchemeOptions &opts)
+{
+    return EraseSchemeRegistry::instance().make(name, chip, opts);
+}
+
+} // namespace aero

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * String-keyed erase-scheme registry.
+ *
+ * Every scheme's translation unit registers a named factory at static
+ * initialization time (via SchemeRegistrar), so constructing a scheme from
+ * a CLI flag, a JSON report, or a SweepSpec is a string lookup instead of
+ * a hard-wired switch. Names round-trip with schemeKindName(); lookups are
+ * tolerant of case and of '-'/'_' separators ("aero-cons", "AERO_CONS"
+ * and "AeroCons" all resolve to AERO-CONS).
+ *
+ * SchemeKind survives as a thin compat layer: the enum still identifies a
+ * scheme in configs and results, but creation goes through the registry.
+ */
+
+#ifndef AERO_ERASE_SCHEME_REGISTRY_HH
+#define AERO_ERASE_SCHEME_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "erase/scheme.hh"
+
+namespace aero
+{
+
+class EraseSchemeRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<EraseScheme>(
+        NandChip &, const SchemeOptions &)>;
+
+    /** The process-wide registry (all built-in schemes pre-registered). */
+    static EraseSchemeRegistry &instance();
+
+    /** Register a factory; fatal if the name or kind is already taken. */
+    void add(const std::string &name, SchemeKind kind, Factory factory);
+
+    bool contains(const std::string &name) const;
+
+    /** Resolve a name to its kind; fatal with the valid names on miss. */
+    SchemeKind kindOf(const std::string &name) const;
+
+    /** Canonical name of a registered kind; fatal if not registered. */
+    const std::string &nameOf(SchemeKind kind) const;
+
+    /** Construct by name; fatal with the valid names on miss. */
+    std::unique_ptr<EraseScheme> make(const std::string &name, NandChip &chip,
+                                      const SchemeOptions &opts) const;
+
+    /** Construct by kind (the SchemeKind compat path). */
+    std::unique_ptr<EraseScheme> make(SchemeKind kind, NandChip &chip,
+                                      const SchemeOptions &opts) const;
+
+    /** Registered canonical names, in the paper's comparison order. */
+    std::vector<std::string> names() const;
+
+  private:
+    EraseSchemeRegistry() = default;
+
+    struct Entry
+    {
+        std::string name;
+        SchemeKind kind;
+        Factory factory;
+    };
+
+    const Entry *find(const std::string &name) const;
+    const Entry *find(SchemeKind kind) const;
+    [[noreturn]] void unknownName(const std::string &name) const;
+
+    std::vector<Entry> entries;
+};
+
+/**
+ * File-scope instance of this in a scheme's TU self-registers the scheme:
+ *
+ *   const SchemeRegistrar kRegisterFoo{"Foo", SchemeKind::Foo, factory};
+ */
+struct SchemeRegistrar
+{
+    SchemeRegistrar(const char *name, SchemeKind kind,
+                    EraseSchemeRegistry::Factory factory);
+};
+
+/** Resolve a scheme name to its kind (fatal, listing valid names). */
+SchemeKind schemeKindFromName(const std::string &name);
+
+/** Construct any registered scheme by name. */
+std::unique_ptr<EraseScheme> makeEraseScheme(const std::string &name,
+                                             NandChip &chip,
+                                             const SchemeOptions &opts);
+
+} // namespace aero
+
+#endif // AERO_ERASE_SCHEME_REGISTRY_HH

@@ -1,0 +1,290 @@
+#include "exp/report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+appendNumber(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        out += "null";  // JSON has no inf/nan
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    out += buf;
+    // "%g" may print a bare integer; keep it a double for typed readers.
+    if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
+        std::string::npos)
+        out += ".0";
+}
+
+void
+appendIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+} // namespace
+
+Json
+Json::object()
+{
+    Json j;
+    j.type = Type::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type = Type::Array;
+    return j;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    AERO_CHECK(type == Type::Object || type == Type::Null,
+               "Json::operator[] on a non-object");
+    type = Type::Object;
+    for (auto &m : members) {
+        if (m.first == key)
+            return m.second;
+    }
+    members.emplace_back(key, Json{});
+    return members.back().second;
+}
+
+Json &
+Json::push(Json value)
+{
+    AERO_CHECK(type == Type::Array || type == Type::Null,
+               "Json::push on a non-array");
+    type = Type::Array;
+    items.push_back(std::move(value));
+    return *this;
+}
+
+void
+Json::write(std::string &out, int indent, int depth) const
+{
+    switch (type) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += boolean ? "true" : "false";
+        break;
+      case Type::Number:
+        appendNumber(out, number);
+        break;
+      case Type::Integer:
+        out += std::to_string(integer);
+        break;
+      case Type::Unsigned:
+        out += std::to_string(uinteger);
+        break;
+      case Type::String:
+        appendEscaped(out, text);
+        break;
+      case Type::Array: {
+        out.push_back('[');
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendIndent(out, indent, depth + 1);
+            items[i].write(out, indent, depth + 1);
+        }
+        if (!items.empty())
+            appendIndent(out, indent, depth);
+        out.push_back(']');
+        break;
+      }
+      case Type::Object: {
+        out.push_back('{');
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendIndent(out, indent, depth + 1);
+            appendEscaped(out, members[i].first);
+            out += indent > 0 ? ": " : ":";
+            members[i].second.write(out, indent, depth + 1);
+        }
+        if (!members.empty())
+            appendIndent(out, indent, depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+Json
+toJson(const SimResult &result)
+{
+    const SimPoint &pt = result.point;
+    Json row = Json::object();
+    row["workload"] = pt.workload;
+    row["scheme"] = schemeKindName(pt.scheme);
+    row["pec"] = pt.pec;
+    row["suspension"] = suspensionModeName(pt.suspension);
+    row["misprediction_rate"] = pt.mispredictionRate;
+    row["rber_requirement"] = pt.rberRequirement;
+    row["requests"] = pt.requests;
+    row["seed"] = pt.seed;
+    row["avg_read_us"] = result.avgReadUs;
+    row["avg_write_us"] = result.avgWriteUs;
+    row["iops"] = result.iops;
+    row["p999_us"] = result.p999Us;
+    row["p9999_us"] = result.p9999Us;
+    row["p999999_us"] = result.p999999Us;
+    row["erases"] = result.erases;
+    row["avg_erase_ms"] = result.avgEraseMs;
+    row["suspensions"] = result.suspensions;
+    row["write_amplification"] = result.writeAmplification;
+    return row;
+}
+
+Json
+toJson(const SweepSpec &spec)
+{
+    Json out = Json::object();
+    Json workloads = Json::array();
+    for (const auto &w : spec.workloads)
+        workloads.push(w);
+    out["workloads"] = std::move(workloads);
+    Json schemes = Json::array();
+    for (const auto k : spec.schemes)
+        schemes.push(schemeKindName(k));
+    out["schemes"] = std::move(schemes);
+    Json pecs = Json::array();
+    for (const double p : spec.pecs)
+        pecs.push(p);
+    out["pecs"] = std::move(pecs);
+    Json suspensions = Json::array();
+    for (const auto m : spec.suspensions)
+        suspensions.push(suspensionModeName(m));
+    out["suspensions"] = std::move(suspensions);
+    Json misrates = Json::array();
+    for (const double r : spec.mispredictionRates)
+        misrates.push(r);
+    out["misprediction_rates"] = std::move(misrates);
+    Json rbers = Json::array();
+    for (const int b : spec.rberRequirements)
+        rbers.push(b);
+    out["rber_requirements"] = std::move(rbers);
+    Json seeds = Json::array();
+    for (const auto s : spec.seeds)
+        seeds.push(s);
+    out["seeds"] = std::move(seeds);
+    out["requests"] = spec.requests;
+    out["drive_capacity_gib"] =
+        static_cast<double>(spec.base.capacityBytes()) /
+        (1024.0 * 1024.0 * 1024.0);
+    return out;
+}
+
+Json
+sweepReport(const SweepSpec &spec, const std::vector<SimResult> &results)
+{
+    Json doc = Json::object();
+    doc["schema"] = "aero-sweep/1";
+    doc["spec"] = toJson(spec);
+    Json rows = Json::array();
+    for (const auto &r : results)
+        rows.push(toJson(r));
+    doc["results"] = std::move(rows);
+    return doc;
+}
+
+std::string
+toCsv(const std::vector<SimResult> &results)
+{
+    std::ostringstream os;
+    os.precision(12);  // match the JSON serializer's %.12g
+    os << "workload,scheme,pec,suspension,misprediction_rate,"
+          "rber_requirement,requests,seed,avg_read_us,avg_write_us,iops,"
+          "p999_us,p9999_us,p999999_us,erases,avg_erase_ms,suspensions,"
+          "write_amplification\n";
+    for (const auto &r : results) {
+        const SimPoint &pt = r.point;
+        os << pt.workload << ',' << schemeKindName(pt.scheme) << ','
+           << pt.pec << ',' << suspensionModeName(pt.suspension) << ','
+           << pt.mispredictionRate << ',' << pt.rberRequirement << ','
+           << pt.requests << ',' << pt.seed << ',' << r.avgReadUs << ','
+           << r.avgWriteUs << ',' << r.iops << ',' << r.p999Us << ','
+           << r.p9999Us << ',' << r.p999999Us << ',' << r.erases << ','
+           << r.avgEraseMs << ',' << r.suspensions << ','
+           << r.writeAmplification << '\n';
+    }
+    return os.str();
+}
+
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        AERO_FATAL("cannot open '", path, "' for writing");
+    out << content;
+    out.flush();
+    if (!out)
+        AERO_FATAL("failed writing '", path, "'");
+}
+
+void
+writeJsonFile(const std::string &path, const Json &doc)
+{
+    writeTextFile(path, doc.dump(2) + "\n");
+    AERO_INFORM("wrote ", path);
+}
+
+} // namespace aero

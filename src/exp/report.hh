@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Machine-readable experiment reports.
+ *
+ * A minimal JSON value type (insertion-ordered objects, so emitted keys
+ * are stable across runs and diffs stay readable) plus serializers that
+ * turn SweepSpec/SimResult rows into a JSON document or a CSV table.
+ * Every figure bench drops one of these artifacts next to its printf
+ * table so plots and regression checks can consume the numbers directly.
+ */
+
+#ifndef AERO_EXP_REPORT_HH
+#define AERO_EXP_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "devchar/simstudy.hh"
+#include "exp/sweep.hh"
+
+namespace aero
+{
+
+/** JSON document node: null, bool, number, string, array, or object. */
+class Json
+{
+  public:
+    Json() = default;  // null
+    Json(bool b) : type(Type::Bool), boolean(b) {}
+    Json(double d) : type(Type::Number), number(d) {}
+    Json(int i) : Json(static_cast<std::int64_t>(i)) {}
+    Json(std::int64_t i) : type(Type::Integer), integer(i) {}
+    Json(std::uint64_t u) : type(Type::Unsigned), uinteger(u) {}
+    Json(std::string s) : type(Type::String), text(std::move(s)) {}
+    Json(const char *s) : Json(std::string(s)) {}
+
+    static Json object();
+    static Json array();
+
+    /** Object access: inserts a null member on first use of a key. */
+    Json &operator[](const std::string &key);
+
+    /** Array append. */
+    Json &push(Json value);
+
+    bool isNull() const { return type == Type::Null; }
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+  private:
+    enum class Type
+    {
+        Null, Bool, Number, Integer, Unsigned, String, Array, Object
+    };
+
+    void write(std::string &out, int indent, int depth) const;
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::int64_t integer = 0;
+    std::uint64_t uinteger = 0;
+    std::string text;
+    std::vector<Json> items;
+    std::vector<std::pair<std::string, Json>> members;
+};
+
+/** One result row as a flat JSON object with stable keys. */
+Json toJson(const SimResult &result);
+
+/** The declared grid (axes, request count, drive summary fields). */
+Json toJson(const SweepSpec &spec);
+
+/**
+ * Full sweep report: {"schema": "aero-sweep/1", "spec": ..,
+ * "results": [..]}. Results must be in spec order.
+ */
+Json sweepReport(const SweepSpec &spec,
+                 const std::vector<SimResult> &results);
+
+/** The same rows as CSV (header + one line per result). */
+std::string toCsv(const std::vector<SimResult> &results);
+
+/** Write a file or die (fatal on I/O failure). */
+void writeTextFile(const std::string &path, const std::string &content);
+
+/** dump(2) + trailing newline to @p path; logs the artifact location. */
+void writeJsonFile(const std::string &path, const Json &doc);
+
+} // namespace aero
+
+#endif // AERO_EXP_REPORT_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * parallelMap() template implementation (included from exp/sweep.hh).
+ */
+
+#ifndef AERO_EXP_SWEEP_IMPL_HH
+#define AERO_EXP_SWEEP_IMPL_HH
+
+#include <atomic>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace aero
+{
+
+namespace detail
+{
+
+/** Clamp a requested pool size to the work available. */
+int resolvePoolSize(int threads, std::size_t items);
+
+} // namespace detail
+
+template <typename Item, typename Fn>
+auto
+parallelMap(const std::vector<Item> &items, Fn fn, int threads = 0)
+    -> std::vector<std::decay_t<decltype(fn(items.front()))>>
+{
+    using Result = std::decay_t<decltype(fn(items.front()))>;
+    std::vector<Result> results(items.size());
+    const int pool = detail::resolvePoolSize(threads, items.size());
+    if (pool <= 1) {
+        for (std::size_t i = 0; i < items.size(); ++i)
+            results[i] = fn(items[i]);
+        return results;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(pool));
+    for (int t = 0; t < pool; ++t) {
+        workers.emplace_back([&] {
+            for (std::size_t i; (i = next.fetch_add(1)) < items.size();)
+                results[i] = fn(items[i]);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    return results;
+}
+
+} // namespace aero
+
+#endif // AERO_EXP_SWEEP_IMPL_HH

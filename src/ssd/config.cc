@@ -2,8 +2,31 @@
 
 #include <sstream>
 
+#include "common/logging.hh"
+
 namespace aero
 {
+
+const char *
+suspensionModeName(SuspensionMode mode)
+{
+    switch (mode) {
+      case SuspensionMode::None: return "none";
+      case SuspensionMode::MidSegment: return "mid-segment";
+    }
+    return "unknown";
+}
+
+SuspensionMode
+suspensionModeFromName(const std::string &name)
+{
+    if (name == "none" || name == "off")
+        return SuspensionMode::None;
+    if (name == "mid-segment" || name == "on")
+        return SuspensionMode::MidSegment;
+    AERO_FATAL("unknown suspension mode: '", name,
+               "' (valid names: none, mid-segment)");
+}
 
 SsdConfig
 SsdConfig::paper()

@@ -24,6 +24,12 @@ enum class SuspensionMode
     MidSegment,   //!< practical erase suspension: preempt within a loop
 };
 
+/** Stable name for reports and CLIs ("none" / "mid-segment"). */
+const char *suspensionModeName(SuspensionMode mode);
+
+/** Inverse of suspensionModeName(); fatal listing the valid names. */
+SuspensionMode suspensionModeFromName(const std::string &name);
+
 struct SsdConfig
 {
     /** @name Topology (Table 2) */

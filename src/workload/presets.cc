@@ -1,5 +1,7 @@
 #include "workload/presets.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace aero
@@ -32,7 +34,12 @@ workloadByName(const std::string &name)
         if (w.name == name || w.sourceTrace == name)
             return w;
     }
-    AERO_FATAL("unknown workload: ", name);
+    std::ostringstream os;
+    const auto &specs = table3Workloads();
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        os << (i ? ", " : "") << specs[i].name;
+    AERO_FATAL("unknown workload: '", name,
+               "' (valid Table-3 names: ", os.str(), ")");
 }
 
 } // namespace aero
