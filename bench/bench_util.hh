@@ -10,6 +10,7 @@
 #ifndef AERO_BENCH_BENCH_UTIL_HH
 #define AERO_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -39,11 +40,123 @@ note(const std::string &text)
     std::printf("  [%s]\n", text.c_str());
 }
 
+/**
+ * One `aero-devchar/1` artifact under construction: the device-
+ * characterization counterpart of the `aero-sweep/1` report. The
+ * document shape is
+ *
+ *   {"schema": "aero-devchar/1", "bench": .., "axes": [..],
+ *    "spec": {..}, "results": [..], "summary": {..}}
+ *
+ * where `axes` names the row-identity keys `aero_diff` matches rows by,
+ * `results` holds one flat object per printed table row, and the
+ * optional `summary` holds axis-less scalars (gamma/delta estimates,
+ * agreement counts, ...) compared with the same numeric tolerances as
+ * row metrics.
+ */
+struct DevcharReport
+{
+    DevcharReport(std::string bench_name,
+                  std::vector<std::string> axis_keys)
+        : bench(std::move(bench_name)), axes(std::move(axis_keys))
+    {
+    }
+
+    std::string bench;
+    std::vector<std::string> axes;
+    Json spec = Json::object();
+    Json summary;  //!< stays null (and omitted) unless assigned
+    Json results = Json::array();
+
+    void addRow(Json row) { results.push(std::move(row)); }
+
+    Json
+    doc() const
+    {
+        Json d = Json::object();
+        d["schema"] = "aero-devchar/1";
+        d["bench"] = bench;
+        Json ax = Json::array();
+        for (const auto &a : axes)
+            ax.push(a);
+        d["axes"] = std::move(ax);
+        d["spec"] = spec;
+        d["results"] = results;
+        if (!summary.isNull())
+            d["summary"] = summary;
+        return d;
+    }
+};
+
+/** One scalar cell of the CSV projection (RFC 4180 quoting). */
+inline std::string
+csvCell(const Json *v)
+{
+    if (!v || v->isNull())
+        return "";
+    if (!v->isString())
+        return v->dump();
+    const std::string &s = v->asString();
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string quoted = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+/**
+ * Project an array of flat result objects to CSV: the header is the
+ * union of row keys in first-appearance order; absent cells are empty.
+ */
+inline std::string
+devcharCsv(const Json &results)
+{
+    std::vector<std::string> columns;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Json &row = results.at(i);
+        for (std::size_t m = 0; m < row.size(); ++m) {
+            const std::string &key = row.member(m).first;
+            if (std::find(columns.begin(), columns.end(), key) ==
+                columns.end())
+                columns.push_back(key);
+        }
+    }
+    std::string out;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (c)
+            out += ',';
+        out += columns[c];
+    }
+    out += '\n';
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Json &row = results.at(i);
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (c)
+                out += ',';
+            out += csvCell(row.find(columns[c]));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
 /** Where a bench should drop machine-readable copies of its output. */
 struct Artifacts
 {
     std::string jsonPath;
     std::string csvPath;
+    /**
+     * `--small`: run a reduced configuration sized for the golden-file
+     * regression gate (seconds, stable numbers, compact artifacts)
+     * instead of the paper-scale study. Only the devchar benches accept
+     * it.
+     */
+    bool small = false;
 
     bool wantJson() const { return !jsonPath.empty(); }
     bool wantCsv() const { return !csvPath.empty(); }
@@ -66,15 +179,32 @@ struct Artifacts
         if (wantJson())
             writeJsonFile(jsonPath, doc);
     }
+
+    /** Write an `aero-devchar/1` report (whichever formats requested). */
+    void
+    writeDevchar(const DevcharReport &report) const
+    {
+        if (wantJson())
+            writeJsonFile(jsonPath, report.doc());
+        if (wantCsv())
+            writeTextFile(csvPath, devcharCsv(report.results));
+    }
 };
 
-/** Parse `--json <path>` / `--csv <path>`; fatal on anything else. */
+/**
+ * Parse `--json <path>` / `--csv <path>` (and `--small` when
+ * @p allow_small); fatal on anything else.
+ */
 inline Artifacts
-parseArtifactArgs(int argc, char **argv)
+parseArtifactArgs(int argc, char **argv, bool allow_small = false)
 {
     Artifacts out;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
+        if (allow_small && std::strcmp(arg, "--small") == 0) {
+            out.small = true;
+            continue;
+        }
         std::string *dest = nullptr;
         if (std::strcmp(arg, "--json") == 0)
             dest = &out.jsonPath;
@@ -83,7 +213,8 @@ parseArtifactArgs(int argc, char **argv)
         else
             AERO_FATAL("unknown argument '", arg,
                        "' (usage: ", argv[0],
-                       " [--json <path>] [--csv <path>])");
+                       " [--json <path>] [--csv <path>]",
+                       allow_small ? " [--small]" : "", ")");
         if (i + 1 >= argc)
             AERO_FATAL(arg, " needs a file path");
         *dest = argv[++i];

@@ -2,6 +2,9 @@
  * @file
  * Reproduces Fig. 4: CDF of the minimum erase latency (mtBERS) across
  * blocks at P/E cycle counts 0-5K, with the N_ISPE band annotations.
+ * The underlying experiment is chip-sharded across the sweep thread
+ * pool; `--json`/`--csv` drop an `aero-devchar/1` artifact and
+ * `--small` runs the reduced regression-gate configuration.
  *
  * Paper reference points: all blocks single-loop at PEC 0 (>70% within
  * 2.5 ms); 76.5% single-loop at 1K; every block >= 2 loops at 2K; 40%
@@ -16,14 +19,17 @@
 using namespace aero;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Figure 4: erase latency variation vs P/E cycles");
     FarmConfig fc;
-    fc.numChips = 24;
-    fc.blocksPerChip = 30;
-    const auto data = runFig4Experiment(
-        fc, {0, 1000, 2000, 3000, 3500, 4000, 5000});
+    fc.numChips = artifacts.small ? 6 : 24;
+    fc.blocksPerChip = artifacts.small ? 10 : 30;
+    const std::vector<double> pecs = {0,    1000, 2000, 3000,
+                                      3500, 4000, 5000};
+    const auto data = runFig4Experiment(fc, pecs);
     std::printf("%zu blocks per curve (paper: 19200 across 160 chips)\n",
                 static_cast<std::size_t>(data.blocksPerCurve));
     bench::rule();
@@ -64,5 +70,39 @@ main()
     }
     bench::note("paper: single-loop fractions 100%/76.5% at PEC 0/1K; "
                 "every block multi-loop at 2K");
+
+    bench::DevcharReport report("fig04_erase_latency_cdf",
+                                {"kind", "pec", "ms"});
+    report.spec["num_chips"] = fc.numChips;
+    report.spec["blocks_per_chip"] = fc.blocksPerChip;
+    report.spec["seed"] = fc.seed;
+    report.spec["small"] = artifacts.small;
+    report.summary["blocks_per_curve"] = data.blocksPerCurve;
+    for (const auto &c : data.curves) {
+        Json row = Json::object();
+        row["kind"] = "summary";
+        row["pec"] = c.pec;
+        row["mean_mtbers_ms"] = c.meanMtBersMs;
+        row["stddev_mtbers_ms"] = c.stddevMtBersMs;
+        row["within_2_5ms_frac"] = c.fracWithin2_5Ms;
+        row["single_loop_frac"] = c.fracSingleLoop;
+        for (const auto &[n, cnt] : c.nIspeCounts) {
+            row[detail::concat("n_ispe_", n, "_count")] = cnt;
+        }
+        report.addRow(std::move(row));
+        for (double ms = 1.0; ms <= 18.0; ms += 1.0) {
+            const auto n = static_cast<double>(c.mtBersMs.size());
+            const auto below = std::count_if(
+                c.mtBersMs.begin(), c.mtBersMs.end(),
+                [ms](double v) { return v <= ms; });
+            Json cdf = Json::object();
+            cdf["kind"] = "cdf";
+            cdf["pec"] = c.pec;
+            cdf["ms"] = ms;
+            cdf["erased_frac"] = below / n;
+            report.addRow(std::move(cdf));
+        }
+    }
+    artifacts.writeDevchar(report);
     return 0;
 }

@@ -4,6 +4,8 @@
  * in the final erase loop, for N_ISPE = 2..5. The paper's observations:
  * F decreases almost linearly with slope delta (~5000) per 0.5 ms, and
  * settles at a consistent floor gamma (<< delta) when 0.5 ms remains.
+ * Chip-sharded across the sweep thread pool; `--json`/`--csv` drop an
+ * `aero-devchar/1` artifact, `--small` runs the regression-gate config.
  */
 
 #include "bench_util.hh"
@@ -12,14 +14,16 @@
 using namespace aero;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Figure 7: fail-bit count vs accumulated tEP");
     FarmConfig fc;
-    fc.numChips = 24;
-    fc.blocksPerChip = 24;
-    const auto data =
-        runFig7Experiment(fc, {1500, 2500, 3500, 4500});
+    fc.numChips = artifacts.small ? 8 : 24;
+    fc.blocksPerChip = artifacts.small ? 10 : 24;
+    const std::vector<double> pecs = {1500, 2500, 3500, 4500};
+    const auto data = runFig7Experiment(fc, pecs);
     const auto p = ChipParams::tlc3d();
     std::printf("max F(N_ISPE) by remaining erase time "
                 "(columns: slots of 0.5 ms still needed)\n");
@@ -47,5 +51,30 @@ main()
                 data.gammaEstimate, p.gamma, data.deltaEstimate, p.delta);
     bench::note("paper: F decreases by ~delta per 0.5 ms in all groups "
                 "and floors at gamma << delta");
+
+    bench::DevcharReport report("fig07_failbits_vs_tep",
+                                {"n_ispe", "remaining_slots"});
+    report.spec["num_chips"] = fc.numChips;
+    report.spec["blocks_per_chip"] = fc.blocksPerChip;
+    report.spec["seed"] = fc.seed;
+    report.spec["small"] = artifacts.small;
+    report.summary["gamma_estimate"] = data.gammaEstimate;
+    report.summary["delta_estimate"] = data.deltaEstimate;
+    report.summary["gamma_model"] = p.gamma;
+    report.summary["delta_model"] = p.delta;
+    for (const auto &row : data.rows) {
+        for (int r = 1; r <= 7; ++r) {
+            if (row.samples[r] == 0)
+                continue;
+            Json j = Json::object();
+            j["n_ispe"] = row.nIspe;
+            j["remaining_slots"] = r;
+            j["max_fail"] = row.maxFailByRemaining[r];
+            j["mean_fail"] = row.meanFailByRemaining[r];
+            j["samples"] = row.samples[r];
+            report.addRow(std::move(j));
+        }
+    }
+    artifacts.writeDevchar(report);
     return 0;
 }

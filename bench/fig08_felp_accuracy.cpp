@@ -5,6 +5,8 @@
  * blocks per range. The paper's headline: a majority (>= 66%) of blocks
  * in the same range need the same final-loop latency, making the fail-bit
  * count an accurate mtEP predictor.
+ * Chip-sharded across the sweep thread pool; `--json`/`--csv` drop an
+ * `aero-devchar/1` artifact, `--small` runs the regression-gate config.
  */
 
 #include "bench_util.hh"
@@ -13,14 +15,17 @@
 using namespace aero;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Figure 8: mtEP(N_ISPE) probability by fail-bit range");
     FarmConfig fc;
-    fc.numChips = 28;
-    fc.blocksPerChip = 24;
-    const auto data = runFig8Experiment(
-        fc, {2000, 2500, 3000, 3500, 4000, 4500, 5200});
+    fc.numChips = artifacts.small ? 8 : 28;
+    fc.blocksPerChip = artifacts.small ? 10 : 24;
+    const std::vector<double> pecs = {2000, 2500, 3000, 3500,
+                                      4000, 4500, 5200};
+    const auto data = runFig8Experiment(fc, pecs);
     for (const auto &row : data.rows) {
         std::printf("\nN_ISPE = %d (%d samples)\n", row.nIspe,
                     row.samples);
@@ -42,5 +47,28 @@ main()
     bench::rule();
     bench::note("paper: majority (>=66%) of blocks per range share one "
                 "mtEP; ranges are occupied fairly evenly");
+
+    bench::DevcharReport report("fig08_felp_accuracy",
+                                {"n_ispe", "range"});
+    report.spec["num_chips"] = fc.numChips;
+    report.spec["blocks_per_chip"] = fc.blocksPerChip;
+    report.spec["seed"] = fc.seed;
+    report.spec["small"] = artifacts.small;
+    for (const auto &row : data.rows) {
+        for (int rg = 0; rg < 9; ++rg) {
+            Json j = Json::object();
+            j["n_ispe"] = row.nIspe;
+            j["range"] = rg;
+            j["range_label"] = Ept::rangeLabel(rg);
+            j["samples"] = row.samples;
+            j["range_frac"] = row.rangeFraction[rg];
+            j["modal_prob"] = row.modalProb[rg];
+            for (int s = 0; s < 7; ++s)
+                j[detail::concat("p_slots_", s + 1)] =
+                    row.mtepProb[rg][s];
+            report.addRow(std::move(j));
+        }
+    }
+    artifacts.writeDevchar(report);
     return 0;
 }

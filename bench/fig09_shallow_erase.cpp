@@ -5,6 +5,9 @@
  * blocks that complete faster than the default tEP and the average
  * tBERS. The paper picks tSE = 1 ms (85% of blocks benefit, avg
  * latency ~2.6-2.9 ms).
+ * Each (PEC, tSE) cell runs on its own farm, cell-per-task across the
+ * sweep thread pool; `--json`/`--csv` drop an `aero-devchar/1`
+ * artifact, `--small` runs the regression-gate config.
  */
 
 #include "bench_util.hh"
@@ -13,14 +16,17 @@
 using namespace aero;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Figure 9: fail-bit distribution under varying tSE");
     FarmConfig fc;
-    fc.numChips = 24;
-    fc.blocksPerChip = 30;
-    const auto data =
-        runFig9Experiment(fc, {1, 2, 3, 4}, {100, 500});
+    fc.numChips = artifacts.small ? 6 : 24;
+    fc.blocksPerChip = artifacts.small ? 10 : 30;
+    const std::vector<int> tse_slots = {1, 2, 3, 4};
+    const std::vector<double> pecs = {100, 500};
+    const auto data = runFig9Experiment(fc, tse_slots, pecs);
     bench::rule();
     std::printf("%6s | %5s | F(0) range occupancy [%%]%18s| %8s | %8s\n",
                 "PEC", "tSE", "", "benefit", "tBERS");
@@ -39,5 +45,25 @@ main()
     bench::rule();
     bench::note("paper: <80,85,86,88>% benefit for tSE=<0.5,1,1.5,2>ms; "
                 "avg tBERS 2.9 ms at 0.1K, 2.5-2.7 ms at 0.5K");
+
+    bench::DevcharReport report("fig09_shallow_erase",
+                                {"pec", "tse_slots"});
+    report.spec["num_chips"] = fc.numChips;
+    report.spec["blocks_per_chip"] = fc.blocksPerChip;
+    report.spec["seed"] = fc.seed;
+    report.spec["small"] = artifacts.small;
+    for (const auto &cell : data.cells) {
+        Json j = Json::object();
+        j["pec"] = cell.pec;
+        j["tse_slots"] = cell.tseSlots;
+        j["samples"] = cell.samples;
+        for (std::size_t rg = 0; rg < cell.rangeFraction.size(); ++rg)
+            j[detail::concat("range_", rg, "_frac")] =
+                cell.rangeFraction[rg];
+        j["benefit_frac"] = cell.benefitFraction;
+        j["avg_tbers_ms"] = cell.avgTbersMs;
+        report.addRow(std::move(j));
+    }
+    artifacts.writeDevchar(report);
     return 0;
 }

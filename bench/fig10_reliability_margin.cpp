@@ -4,6 +4,8 @@
  * insufficient erasure, against the ECC capability (72) and RBER
  * requirement (63). The derived safety conditions are the paper's
  * [C1]: N_ISPE <= 3 and F(N-1) < delta, and [C2]: N = 4 and F(3) < gamma.
+ * Chip-sharded across the sweep thread pool; `--json`/`--csv` drop an
+ * `aero-devchar/1` artifact, `--small` runs the regression-gate config.
  */
 
 #include "bench_util.hh"
@@ -12,12 +14,14 @@
 using namespace aero;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Figure 10: reliability margin vs erase status");
     FarmConfig fc;
-    fc.numChips = 24;
-    fc.blocksPerChip = 24;
+    fc.numChips = artifacts.small ? 8 : 24;
+    fc.blocksPerChip = artifacts.small ? 10 : 24;
     const auto data = runFig10Experiment(
         fc, {500, 1500, 2500, 3500, 4500});
     std::printf("ECC capability %d, RBER requirement %d (per 1 KiB)\n",
@@ -48,5 +52,34 @@ main()
     bench::rule();
     bench::note("paper conditions: [C1] N<=3 & F<d safe; "
                 "[C2] N=4 & F<g safe; nothing at N=5");
+
+    bench::DevcharReport report("fig10_reliability_margin",
+                                {"kind", "n_ispe", "range"});
+    report.spec["num_chips"] = fc.numChips;
+    report.spec["blocks_per_chip"] = fc.blocksPerChip;
+    report.spec["seed"] = fc.seed;
+    report.spec["small"] = artifacts.small;
+    report.summary["ecc_capability"] = data.eccCapability;
+    report.summary["rber_requirement"] = data.rberRequirement;
+    for (const auto &row : data.complete) {
+        Json j = Json::object();
+        j["kind"] = "complete";
+        j["n_ispe"] = row.nIspe;
+        j["samples"] = row.samples;
+        j["max_mrber"] = row.maxMrber;
+        j["margin"] = row.margin;
+        report.addRow(std::move(j));
+    }
+    for (const auto &row : data.insufficient) {
+        Json j = Json::object();
+        j["kind"] = "insufficient";
+        j["n_ispe"] = row.nIspe;
+        j["range"] = row.range;
+        j["samples"] = row.samples;
+        j["max_mrber"] = row.maxMrber;
+        j["safe"] = row.safe;
+        report.addRow(std::move(j));
+    }
+    artifacts.writeDevchar(report);
     return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "core/felp.hh"
+#include "devchar/chip_shard.hh"
 #include "nand/erase_model.hh"
 
 namespace aero
@@ -58,24 +59,29 @@ EptBuilder::build()
 
     const int shallow_slots = 2;  // tSE = 1 ms
 
-    for (double pec : cfg.pecPoints) {
-        pop.forEachSampledBlock(cfg.blocksPerChip, [&](NandChip &chip,
-                                                       BlockId id) {
-            Block &blk = chip.block(id);
-            if (blk.pec() < pec) {
-                chip.ageBaseline(
-                    id, static_cast<int>(pec - blk.pec()));
-            }
-            const auto m = measureMIspe(chip, id);
+    // The m-ISPE campaign runs on the shared chip-sharded engine (see
+    // devchar/chip_shard.hh); folding the returned (pec, chip, block)-
+    // ordered records keeps the derived EPT identical for any thread
+    // count.
+    const auto by_pec = measureChipSharded(
+        pop, cfg.blocksPerChip, cfg.pecPoints,
+        [](NandChip &chip, BlockId id, std::size_t) {
+            return measureMIspe(chip, id);
+        });
+
+    for (std::size_t pi = 0; pi < cfg.pecPoints.size(); ++pi) {
+        const double pec = cfg.pecPoints[pi];
+        for (const auto &m : by_pec[pi]) {
             samples += 1;
 
             const int row_max = std::min(m.nIspe, Ept::kRows);
             row_pec_sum[row_max - 1] += pec;
             row_pec_cnt[row_max - 1] += 1;
 
-            // Row 1 (shallow remainder): F after the 1-ms probe predicts
-            // the slots still needed to finish loop 1.
-            if (static_cast<int>(m.failAfterSlot.size()) > shallow_slots &&
+            // Row 1 (shallow remainder): F after the 1-ms probe
+            // predicts the slots still needed to finish loop 1.
+            if (static_cast<int>(m.failAfterSlot.size()) >
+                    shallow_slots &&
                 m.slotsRequired > shallow_slots &&
                 m.slotsRequired <= p.slotsPerLoop) {
                 const double f0 = m.failAfterSlot[shallow_slots - 1];
@@ -84,10 +90,12 @@ EptBuilder::build()
                 max_remaining[0][rg] =
                     std::max(max_remaining[0][rg], rem);
             }
-            // Rows >= 2: F at each loop boundary predicts the next loop.
+            // Rows >= 2: F at each loop boundary predicts the next
+            // loop.
             for (int i = 1; i < m.nIspe; ++i) {
                 const int boundary = i * p.slotsPerLoop;
-                if (boundary > static_cast<int>(m.failAfterSlot.size()))
+                if (boundary >
+                    static_cast<int>(m.failAfterSlot.size()))
                     break;
                 const double f = m.failAfterSlot[boundary - 1];
                 const int rg = Ept::rangeIndex(p, f);
@@ -97,7 +105,7 @@ EptBuilder::build()
                 max_remaining[row - 1][rg] =
                     std::max(max_remaining[row - 1][rg], rem);
             }
-        });
+        }
     }
 
     // Assemble the table. Unobserved cells keep the default full pulse

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The chip-sharded characterization campaign engine shared by the
+ * devchar experiments (Figs. 4, 7-11) and the EptBuilder's m-ISPE
+ * campaign (Table 1).
+ *
+ * measureChipSharded() runs `measure(chip, id, pec_index)` on every
+ * sampled block of every chip at every PEC point (conditioning each
+ * block to the point first — the paper's procedure), chip-per-task
+ * across the thread pool (AERO_SWEEP_THREADS). Each chip replays the
+ * serial walk's schedule for itself — PEC points outermost, blocks in
+ * sampling order — and the records are re-assembled in the serial
+ * walk's (pec, chip, block) order. Chips are mutually independent (own
+ * blocks, own RNG streams; see ChipPopulation::forEachSampledBlockOfChip),
+ * so accumulating from the returned records is bit-identical to a
+ * single-threaded pec-major loop, for any thread count.
+ */
+
+#ifndef AERO_DEVCHAR_CHIP_SHARD_HH
+#define AERO_DEVCHAR_CHIP_SHARD_HH
+
+#include <iterator>
+#include <numeric>
+#include <type_traits>
+#include <vector>
+
+#include "exp/sweep_impl.hh"
+#include "nand/population.hh"
+
+namespace aero
+{
+
+/** @return records[pec_index], concatenated in chip-major order. */
+template <typename Measure>
+auto
+measureChipSharded(ChipPopulation &pop, int blocks_per_chip,
+                   const std::vector<double> &pecs, Measure measure,
+                   int threads = 0)
+    -> std::vector<std::vector<std::invoke_result_t<
+        Measure &, NandChip &, BlockId, std::size_t>>>
+{
+    using Record = std::invoke_result_t<Measure &, NandChip &, BlockId,
+                                        std::size_t>;
+    std::vector<int> chip_indices(
+        static_cast<std::size_t>(pop.numChips()));
+    std::iota(chip_indices.begin(), chip_indices.end(), 0);
+
+    auto per_chip = parallelMap(
+        chip_indices,
+        [&](int c) {
+            std::vector<std::vector<Record>> by_pec(pecs.size());
+            for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
+                const double pec = pecs[pi];
+                pop.forEachSampledBlockOfChip(
+                    c, blocks_per_chip,
+                    [&](NandChip &chip, BlockId id) {
+                        Block &blk = chip.block(id);
+                        if (blk.pec() < pec) {
+                            chip.ageBaseline(
+                                id, static_cast<int>(pec - blk.pec()));
+                        }
+                        by_pec[pi].push_back(measure(chip, id, pi));
+                    });
+            }
+            return by_pec;
+        },
+        threads);
+
+    std::vector<std::vector<Record>> by_pec(pecs.size());
+    for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
+        for (auto &chip_records : per_chip) {
+            by_pec[pi].insert(
+                by_pec[pi].end(),
+                std::make_move_iterator(chip_records[pi].begin()),
+                std::make_move_iterator(chip_records[pi].end()));
+        }
+    }
+    return by_pec;
+}
+
+} // namespace aero
+
+#endif // AERO_DEVCHAR_CHIP_SHARD_HH

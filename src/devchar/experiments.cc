@@ -4,10 +4,28 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "devchar/chip_shard.hh"
+#include "exp/sweep_impl.hh"
 #include "nand/erase_model.hh"
 
 namespace aero
 {
+
+namespace
+{
+
+/** The shared campaign engine applied to a farm's sampled blocks. */
+template <typename Measure>
+auto
+measureFarmSharded(ChipFarm &farm, const std::vector<double> &pecs,
+                   Measure measure)
+{
+    return measureChipSharded(farm.population(),
+                              farm.config().blocksPerChip, pecs,
+                              std::move(measure));
+}
+
+} // namespace
 
 Fig4Data
 runFig4Experiment(const FarmConfig &farm_cfg,
@@ -16,18 +34,22 @@ runFig4Experiment(const FarmConfig &farm_cfg,
     ChipFarm farm(farm_cfg);
     Fig4Data data;
     data.blocksPerCurve = farm.totalSampledBlocks();
-    for (const double pec : pecs) {
+    const auto by_pec = measureFarmSharded(
+        farm, pecs,
+        [](NandChip &chip, BlockId id, std::size_t) {
+            return measureMIspe(chip, id);
+        });
+    for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
         Fig4Data::PecCurve curve;
-        curve.pec = pec;
-        farm.forEachBlockAt(pec, [&](NandChip &chip, BlockId id) {
-            const auto m = measureMIspe(chip, id);
+        curve.pec = pecs[pi];
+        for (const auto &m : by_pec[pi]) {
             curve.mtBersMs.push_back(m.mtBersMs);
             curve.nIspeCounts[m.nIspe] += 1;
             if (m.slotsRequired <= 5)
                 curve.fracWithin2_5Ms += 1.0;
             if (m.nIspe == 1)
                 curve.fracSingleLoop += 1.0;
-        });
+        }
         const auto n = static_cast<double>(curve.mtBersMs.size());
         AERO_CHECK(n > 0, "fig4: empty curve");
         curve.fracWithin2_5Ms /= n;
@@ -53,9 +75,13 @@ runFig7Experiment(const FarmConfig &farm_cfg,
     const ChipParams &p = farm.params();
     Fig7Data data;
     std::map<int, Fig7Data::Row> rows;
-    for (const double pec : pecs) {
-        farm.forEachBlockAt(pec, [&](NandChip &chip, BlockId id) {
-            const auto m = measureMIspe(chip, id);
+    const auto by_pec = measureFarmSharded(
+        farm, pecs,
+        [](NandChip &chip, BlockId id, std::size_t) {
+            return measureMIspe(chip, id);
+        });
+    for (const auto &records : by_pec) {
+        for (const auto &m : records) {
             auto &row = rows[m.nIspe];
             row.nIspe = m.nIspe;
             // F after slot s leaves (slotsRequired - s) slots to go.
@@ -69,7 +95,7 @@ runFig7Experiment(const FarmConfig &farm_cfg,
                 row.meanFailByRemaining[remaining] += f;
                 row.samples[remaining] += 1;
             }
-        });
+        }
     }
     double gamma_sum = 0.0;
     int gamma_n = 0;
@@ -104,26 +130,29 @@ runFig8Experiment(const FarmConfig &farm_cfg,
 {
     ChipFarm farm(farm_cfg);
     const ChipParams &p = farm.params();
-    std::map<int, Fig8Data::Row> rows;
     std::map<int, std::array<std::array<int, 8>, 9>> counts;
     std::map<int, int> totals;
-    for (const double pec : pecs) {
-        farm.forEachBlockAt(pec, [&](NandChip &chip, BlockId id) {
-            const auto m = measureMIspe(chip, id);
+    const auto by_pec = measureFarmSharded(
+        farm, pecs,
+        [](NandChip &chip, BlockId id, std::size_t) {
+            return measureMIspe(chip, id);
+        });
+    for (const auto &records : by_pec) {
+        for (const auto &m : records) {
             if (m.nIspe < 2 || m.nIspe > 5)
-                return;
+                continue;
             const int boundary = (m.nIspe - 1) * p.slotsPerLoop;
             if (boundary < 1 ||
                 boundary > static_cast<int>(m.failAfterSlot.size()))
-                return;
+                continue;
             const double f = m.failAfterSlot[boundary - 1];
             const int range = Ept::rangeIndex(p, f);
             const int slots = m.slotsRequired - boundary;
             if (slots < 1 || slots > 7)
-                return;
+                continue;
             counts[m.nIspe][range][slots - 1] += 1;
             totals[m.nIspe] += 1;
-        });
+        }
     }
     Fig8Data data;
     for (auto &[n, byRange] : counts) {
@@ -157,61 +186,72 @@ runFig9Experiment(const FarmConfig &farm_cfg,
                   const std::vector<int> &tse_slots,
                   const std::vector<double> &pecs)
 {
-    Fig9Data data;
+    // Every (pec, tSE) cell runs on its own freshly seeded farm so the
+    // cells are fully independent — parallelized cell-per-task, results
+    // kept in the serial loop's cell order.
+    struct CellPoint
+    {
+        double pec;
+        int tse;
+    };
+    std::vector<CellPoint> points;
     for (const double pec : pecs) {
-        for (const int tse : tse_slots) {
-            // Fresh farm per cell so every configuration sees the same
-            // block population (the paper tests disjoint block sets).
-            FarmConfig fc = farm_cfg;
-            fc.seed = farm_cfg.seed + static_cast<std::uint64_t>(tse);
-            ChipFarm farm(fc);
-            const ChipParams &p = farm.params();
-            Fig9Data::Cell cell;
-            cell.tseSlots = tse;
-            cell.pec = pec;
-            double tbers_sum = 0.0;
-            farm.forEachBlockAt(pec, [&](NandChip &chip, BlockId id) {
-                chip.beginErase(id);
-                chip.erasePulse(id, 1, tse);
-                auto vr = chip.verifyRead(id);
-                int total_slots = tse;
-                int vrs = 1;
-                const int range = Ept::rangeIndex(p, vr.failBits);
-                cell.rangeFraction[range] += 1.0;
-                if (!vr.pass) {
-                    // Remainder sized by the exact-fit prediction,
-                    // capped so probe+remainder never exceed a loop.
-                    const int cap = p.slotsPerLoop - tse;
-                    int rem = static_cast<int>(std::ceil(
-                        remainingSlotsFor(p, vr.failBits)));
-                    rem = std::clamp(rem, 1, std::max(1, cap));
-                    chip.erasePulse(id, 1, rem);
-                    vr = chip.verifyRead(id);
-                    total_slots += rem;
-                    vrs += 1;
-                    // Recovery: extra half-millisecond steps.
-                    int guard = 0;
-                    while (!vr.pass && ++guard < 2 * p.slotsPerLoop) {
-                        chip.erasePulse(id, 1, 1);
-                        vr = chip.verifyRead(id);
-                        total_slots += 1;
-                        vrs += 1;
-                    }
-                }
-                chip.finishErase(id);
-                if (total_slots < p.slotsPerLoop)
-                    cell.benefitFraction += 1.0;
-                tbers_sum += 0.5 * total_slots +
-                             ticksToMs(p.tVr) * vrs;
-                cell.samples += 1;
-            });
-            for (auto &f : cell.rangeFraction)
-                f /= std::max(1, cell.samples);
-            cell.benefitFraction /= std::max(1, cell.samples);
-            cell.avgTbersMs = tbers_sum / std::max(1, cell.samples);
-            data.cells.push_back(cell);
-        }
+        for (const int tse : tse_slots)
+            points.push_back({pec, tse});
     }
+    Fig9Data data;
+    data.cells = parallelMap(points, [&](const CellPoint &pt) {
+        // Fresh farm per cell so every configuration sees the same
+        // block population (the paper tests disjoint block sets).
+        FarmConfig fc = farm_cfg;
+        fc.seed = farm_cfg.seed + static_cast<std::uint64_t>(pt.tse);
+        ChipFarm farm(fc);
+        const ChipParams &p = farm.params();
+        Fig9Data::Cell cell;
+        cell.tseSlots = pt.tse;
+        cell.pec = pt.pec;
+        double tbers_sum = 0.0;
+        farm.forEachBlockAt(pt.pec, [&](NandChip &chip, BlockId id) {
+            chip.beginErase(id);
+            chip.erasePulse(id, 1, pt.tse);
+            auto vr = chip.verifyRead(id);
+            int total_slots = pt.tse;
+            int vrs = 1;
+            const int range = Ept::rangeIndex(p, vr.failBits);
+            cell.rangeFraction[range] += 1.0;
+            if (!vr.pass) {
+                // Remainder sized by the exact-fit prediction,
+                // capped so probe+remainder never exceed a loop.
+                const int cap = p.slotsPerLoop - pt.tse;
+                int rem = static_cast<int>(std::ceil(
+                    remainingSlotsFor(p, vr.failBits)));
+                rem = std::clamp(rem, 1, std::max(1, cap));
+                chip.erasePulse(id, 1, rem);
+                vr = chip.verifyRead(id);
+                total_slots += rem;
+                vrs += 1;
+                // Recovery: extra half-millisecond steps.
+                int guard = 0;
+                while (!vr.pass && ++guard < 2 * p.slotsPerLoop) {
+                    chip.erasePulse(id, 1, 1);
+                    vr = chip.verifyRead(id);
+                    total_slots += 1;
+                    vrs += 1;
+                }
+            }
+            chip.finishErase(id);
+            if (total_slots < p.slotsPerLoop)
+                cell.benefitFraction += 1.0;
+            tbers_sum += 0.5 * total_slots +
+                         ticksToMs(p.tVr) * vrs;
+            cell.samples += 1;
+        });
+        for (auto &f : cell.rangeFraction)
+            f /= std::max(1, cell.samples);
+        cell.benefitFraction /= std::max(1, cell.samples);
+        cell.avgTbersMs = tbers_sum / std::max(1, cell.samples);
+        return cell;
+    });
     return data;
 }
 
@@ -238,73 +278,81 @@ Fig10Data
 runFig10Experiment(const FarmConfig &farm_cfg,
                    const std::vector<double> &pecs)
 {
+    (void)pecs;
     Fig10Data data;
     std::map<int, Fig10Data::CompleteRow> complete;
     std::map<std::pair<int, int>, Fig10Data::InsufficientRow> insufficient;
+    // Each N_ISPE row is measured on blocks conditioned to the PEC where
+    // that loop count is typical (the Fig. 4 bands).
+    const std::pair<double, int> conditioning[] = {
+        {500.0, 1}, {2000.0, 2}, {3000.0, 3}, {4200.0, 4},
+        {5200.0, 5},
+    };
+    std::vector<double> cond_pecs;
+    for (const auto &[pec, expect_n] : conditioning)
+        cond_pecs.push_back(pec);
     {
         // (a) Complete erasure, each N row on representatively
         // conditioned blocks (see part (b) below).
-        (void)pecs;
         ChipFarm farm(farm_cfg);
         const ChipParams &p = farm.params();
-        const std::pair<double, int> conditioning[] = {
-            {500.0, 1}, {2000.0, 2}, {3000.0, 3}, {4200.0, 4},
-            {5200.0, 5},
+        struct CompleteRecord
+        {
+            int n;
+            double mrber;
         };
-        for (const auto &[pec, expect_n] : conditioning) {
-            farm.forEachBlockAt(pec, [&](NandChip &chip, BlockId id) {
+        const auto by_pec = measureFarmSharded(
+            farm, cond_pecs,
+            [&p](NandChip &chip, BlockId id, std::size_t) {
                 chip.beginErase(id);
                 const int n = std::min(
                     nIspeFor(p, chip.opRequirement(id)), 5);
                 for (int i = 1; i <= n; ++i)
                     chip.erasePulse(id, i, p.slotsPerLoop);
                 chip.finishErase(id);
-                if (n != expect_n)
-                    return;
-                auto &row = complete[n];
-                row.nIspe = n;
-                row.samples += 1;
-                row.maxMrber =
-                    std::max(row.maxMrber, chip.maxRber(id));
+                return CompleteRecord{n, chip.maxRber(id)};
             });
+        for (std::size_t pi = 0; pi < cond_pecs.size(); ++pi) {
+            const int expect_n = conditioning[pi].second;
+            for (const auto &rec : by_pec[pi]) {
+                if (rec.n != expect_n)
+                    continue;
+                auto &row = complete[rec.n];
+                row.nIspe = rec.n;
+                row.samples += 1;
+                row.maxMrber = std::max(row.maxMrber, rec.mrber);
+            }
         }
     }
     {
-        // (b) Insufficient erasure on an identically seeded farm. Like
-        // the paper, each N_ISPE row is measured on blocks conditioned to
-        // the PEC where that loop count is typical (the Fig. 4 bands);
-        // outlier blocks whose loop count does not match are skipped so a
-        // row is not polluted by laggards from a much older population.
+        // (b) Insufficient erasure on an identically seeded farm.
+        // Outlier blocks whose loop count does not match the expected
+        // band are skipped so a row is not polluted by laggards from a
+        // much older population; every block is restored to complete
+        // erasure so later PEC points see a normally conditioned block.
         ChipFarm farm(farm_cfg);
-        const std::pair<double, int> conditioning[] = {
-            {500.0, 1}, {2000.0, 2}, {3000.0, 3}, {4200.0, 4},
-            {5200.0, 5},
-        };
-        for (const auto &[pec, expect_n] : conditioning) {
-            farm.forEachBlockAt(pec, [&](NandChip &chip, BlockId id) {
+        const auto by_pec = measureFarmSharded(
+            farm, cond_pecs,
+            [](NandChip &chip, BlockId id, std::size_t) {
                 const auto r = eraseInsufficiently(chip, id);
-                if (std::min(r.nIspe, 5) != expect_n) {
-                    // Still restore the block before skipping it.
-                    chip.beginErase(id);
-                    chip.erasePulse(id, std::max(1, std::min(
-                        r.nIspe, chip.params().maxLevel)),
-                        chip.params().slotsPerLoop);
-                    chip.finishErase(id);
-                    return;
-                }
-                auto &row = insufficient[{expect_n, r.range}];
-                row.nIspe = expect_n;
-                row.range = r.range;
-                row.samples += 1;
-                row.maxMrber = std::max(row.maxMrber, r.mrberAfter);
-                // Restore complete erasure so later PEC points see a
-                // normally conditioned block.
                 chip.beginErase(id);
                 chip.erasePulse(id, std::max(1, std::min(
                     r.nIspe, chip.params().maxLevel)),
                     chip.params().slotsPerLoop);
                 chip.finishErase(id);
+                return r;
             });
+        for (std::size_t pi = 0; pi < cond_pecs.size(); ++pi) {
+            const int expect_n = conditioning[pi].second;
+            for (const auto &r : by_pec[pi]) {
+                if (std::min(r.nIspe, 5) != expect_n)
+                    continue;
+                auto &row = insufficient[{expect_n, r.range}];
+                row.nIspe = expect_n;
+                row.range = r.range;
+                row.samples += 1;
+                row.maxMrber = std::max(row.maxMrber, r.mrberAfter);
+            }
         }
     }
     for (auto &[n, row] : complete) {
@@ -332,14 +380,20 @@ runFig11Experiment(ChipType type, std::uint64_t seed)
     fc.numChips = 16;
     fc.blocksPerChip = 24;
     fc.seed = seed;
+    return runFig11Experiment(fc);
+}
+
+Fig11Data
+runFig11Experiment(const FarmConfig &base)
+{
     Fig11Data data;
-    data.type = type;
+    data.type = base.type;
     const auto fig7 =
-        runFig7Experiment(fc, {0.0, 1000.0, 2000.0, 3000.0});
+        runFig7Experiment(base, {0.0, 1000.0, 2000.0, 3000.0});
     data.gammaEstimate = fig7.gammaEstimate;
     data.deltaEstimate = fig7.deltaEstimate;
-    FarmConfig fc10 = fc;
-    fc10.seed = seed + 17;
+    FarmConfig fc10 = base;
+    fc10.seed = base.seed + 17;
     data.reliability =
         runFig10Experiment(fc10, {500.0, 1500.0, 2500.0, 3500.0});
     return data;

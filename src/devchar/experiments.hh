@@ -133,6 +133,9 @@ struct Fig11Data
 
 Fig11Data runFig11Experiment(ChipType type, std::uint64_t seed);
 
+/** As above with an explicit farm scale (type and seed from @p base). */
+Fig11Data runFig11Experiment(const FarmConfig &base);
+
 /**
  * Erase a block with Baseline loops but stop before the final loop
  * (insufficient erasure); returns the fail-bit count seen at the stop

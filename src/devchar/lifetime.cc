@@ -1,5 +1,7 @@
 #include "devchar/lifetime.hh"
 
+#include <numeric>
+
 #include "core/aero_scheme.hh"
 #include "exp/sweep_impl.hh"
 
@@ -24,31 +26,61 @@ LifetimeTester::run(SchemeKind scheme) const
     std::uint64_t erases = 0;
 
     const int blocks = cfg.farm.blocksPerChip;
+
+    // One checkpoint's worth of work on one chip: the chip (and its
+    // scheme instance) is exclusively owned by one pool task, and the
+    // partials below are folded into the global accumulators in chip
+    // order, so any thread count produces identical results.
+    struct ChipPartial
+    {
+        double latencyMsSum = 0.0;
+        double loopsSum = 0.0;
+        std::uint64_t erases = 0;
+        /** Per-block max-RBER + scheme penalty, in block order. */
+        std::vector<double> blockRber;
+    };
+    std::vector<int> chip_indices(
+        static_cast<std::size_t>(pop.numChips()));
+    std::iota(chip_indices.begin(), chip_indices.end(), 0);
+
     for (int pec = 0; pec < cfg.maxPec && !res.crossed;
          pec += cfg.checkpointEvery) {
-        for (int c = 0; c < pop.numChips(); ++c) {
-            NandChip &chip = pop.chip(c);
-            const int n = std::min(blocks, chip.numBlocks());
-            for (int b = 0; b < n; ++b) {
-                for (int i = 0; i < cfg.checkpointEvery; ++i) {
-                    const auto out =
-                        eraseNow(*schemes[c], static_cast<BlockId>(b));
-                    latency_ms_sum += ticksToMs(out.latency);
-                    loops_sum += out.loops;
-                    ++erases;
+        const auto partials = parallelMap(
+            chip_indices,
+            [&](int c) {
+                ChipPartial part;
+                NandChip &chip = pop.chip(c);
+                const int n = std::min(blocks, chip.numBlocks());
+                for (int b = 0; b < n; ++b) {
+                    for (int i = 0; i < cfg.checkpointEvery; ++i) {
+                        const auto out = eraseNow(
+                            *schemes[c], static_cast<BlockId>(b));
+                        part.latencyMsSum += ticksToMs(out.latency);
+                        part.loopsSum += out.loops;
+                        ++part.erases;
+                    }
                 }
-            }
-        }
-        // Average max-RBER across the population under the reference
-        // retention condition, including scheme-induced penalties.
+                // Max-RBER under the reference retention condition,
+                // including scheme-induced penalties.
+                part.blockRber.reserve(static_cast<std::size_t>(n));
+                for (int b = 0; b < n; ++b) {
+                    part.blockRber.push_back(
+                        chip.maxRber(static_cast<BlockId>(b)) +
+                        schemes[c]->extraRber(static_cast<BlockId>(b)));
+                }
+                return part;
+            },
+            cfg.threads);
+        // Population average at this checkpoint, folded in chip/block
+        // order (matching the original serial loop exactly).
         double sum = 0.0;
         int n_blocks = 0;
-        for (int c = 0; c < pop.numChips(); ++c) {
-            NandChip &chip = pop.chip(c);
-            const int n = std::min(blocks, chip.numBlocks());
-            for (int b = 0; b < n; ++b) {
-                sum += chip.maxRber(static_cast<BlockId>(b)) +
-                       schemes[c]->extraRber(static_cast<BlockId>(b));
+        for (const auto &part : partials) {
+            latency_ms_sum += part.latencyMsSum;
+            loops_sum += part.loopsSum;
+            erases += part.erases;
+            for (const double r : part.blockRber) {
+                sum += r;
                 n_blocks += 1;
             }
         }

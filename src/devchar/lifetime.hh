@@ -25,6 +25,12 @@ struct LifetimeConfig
     int checkpointEvery = 250;
     double rberRequirement = 63.0;
     SchemeOptions schemeOptions;
+    /**
+     * Thread-pool size for the per-chip shards of one run() (0 =
+     * AERO_SWEEP_THREADS / hardware). Results are identical for any
+     * value: shards are whole chips and partials fold in chip order.
+     */
+    int threads = 0;
 };
 
 struct LifetimeResult
@@ -45,6 +51,12 @@ class LifetimeTester
   public:
     explicit LifetimeTester(const LifetimeConfig &cfg) : cfg(cfg) {}
 
+    /**
+     * Cycle one scheme's population to death. The per-checkpoint farm
+     * loop is sharded chip-per-task across the thread pool
+     * (cfg.threads); chips are independent and the partial sums fold in
+     * chip order, so the result is deterministic across thread counts.
+     */
     LifetimeResult run(SchemeKind scheme) const;
 
     /**

@@ -1,0 +1,737 @@
+#include "exp/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+appendNumber(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        out += "null";  // JSON has no inf/nan (see policy in json.hh)
+        return;
+    }
+    // Shortest representation that round-trips to the same double, so
+    // parse(dump(x)) == x holds for every finite value.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    const auto len = static_cast<std::size_t>(res.ptr - buf);
+    out.append(buf, len);
+    // to_chars may print a bare integer ("5" for 5.0); keep it a
+    // double for typed readers.
+    if (out.find_first_of(".eE", out.size() - len) == std::string::npos)
+        out += ".0";
+}
+
+void
+appendIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+/**
+ * Recursive-descent parser over the raw text. Tracks the 1-based
+ * line/column of the cursor so errors point at the offending character.
+ */
+class Parser
+{
+  public:
+    Parser(const std::string &text, Json::ParseError *err)
+        : s(text), error(err)
+    {
+    }
+
+    bool
+    run(Json *out)
+    {
+        skipWs();
+        if (!parseValue(*out, 0))
+            return false;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 256;
+
+    const std::string &s;
+    Json::ParseError *error;
+    std::size_t pos = 0;
+    std::size_t line = 1;
+    std::size_t lineStart = 0;  //!< offset of the current line's first char
+
+    bool
+    fail(const std::string &message)
+    {
+        if (error) {
+            error->message = message;
+            error->line = line;
+            error->column = pos - lineStart + 1;
+            error->offset = pos;
+        }
+        return false;
+    }
+
+    bool atEnd() const { return pos >= s.size(); }
+    char peek() const { return s[pos]; }
+
+    void
+    advance()
+    {
+        if (s[pos] == '\n') {
+            line += 1;
+            lineStart = pos + 1;
+        }
+        pos += 1;
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            advance();
+        }
+    }
+
+    bool
+    consume(char expected, const char *what)
+    {
+        if (atEnd() || peek() != expected)
+            return fail(detail::concat("expected ", what));
+        advance();
+        return true;
+    }
+
+    bool
+    parseValue(Json &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than 256 levels");
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"': {
+            std::string str;
+            if (!parseString(str))
+                return false;
+            out = Json(std::move(str));
+            return true;
+          }
+          case 't': return parseKeyword("true", Json(true), out);
+          case 'f': return parseKeyword("false", Json(false), out);
+          case 'n': return parseKeyword("null", Json(), out);
+          default: {
+            const char c = peek();
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail("invalid token");
+          }
+        }
+    }
+
+    bool
+    parseKeyword(const char *word, Json value, Json &out)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            return fail("invalid token");
+        for (std::size_t i = 0; i < n; ++i)
+            advance();
+        out = std::move(value);
+        return true;
+    }
+
+    bool
+    parseObject(Json &out, int depth)
+    {
+        advance();  // '{'
+        out = Json::object();
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            advance();
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (atEnd() || peek() != '"')
+                return fail("expected object key string");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':', "':' after object key"))
+                return false;
+            skipWs();
+            if (!parseValue(out[key], depth + 1))
+                return false;
+            skipWs();
+            if (atEnd())
+                return fail("unterminated object");
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            if (peek() == '}') {
+                advance();
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(Json &out, int depth)
+    {
+        advance();  // '['
+        out = Json::array();
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            advance();
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Json element;
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.push(std::move(element));
+            skipWs();
+            if (atEnd())
+                return fail("unterminated array");
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            if (peek() == ']') {
+                advance();
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    hexQuad(unsigned &out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (atEnd())
+                return fail("unterminated \\u escape");
+            const char c = peek();
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A') + 10;
+            else
+                return fail("invalid hex digit in \\u escape");
+            out = out * 16 + digit;
+            advance();
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        advance();  // '"'
+        out.clear();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            const char c = peek();
+            if (c == '"') {
+                advance();
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                advance();
+                continue;
+            }
+            advance();  // '\\'
+            if (atEnd())
+                return fail("unterminated escape");
+            const char esc = peek();
+            switch (esc) {
+              case '"': out.push_back('"'); advance(); break;
+              case '\\': out.push_back('\\'); advance(); break;
+              case '/': out.push_back('/'); advance(); break;
+              case 'b': out.push_back('\b'); advance(); break;
+              case 'f': out.push_back('\f'); advance(); break;
+              case 'n': out.push_back('\n'); advance(); break;
+              case 'r': out.push_back('\r'); advance(); break;
+              case 't': out.push_back('\t'); advance(); break;
+              case 'u': {
+                advance();
+                unsigned cp;
+                if (!hexQuad(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    if (atEnd() || peek() != '\\')
+                        return fail("unpaired UTF-16 high surrogate");
+                    advance();
+                    if (atEnd() || peek() != 'u')
+                        return fail("unpaired UTF-16 high surrogate");
+                    advance();
+                    unsigned lo;
+                    if (!hexQuad(lo))
+                        return false;
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        return fail("invalid UTF-16 low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    return fail("unpaired UTF-16 low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        const std::size_t start = pos;
+        bool negative = false;
+        if (!atEnd() && peek() == '-') {
+            negative = true;
+            advance();
+        }
+        // Integer part: "0" alone or a nonzero-led digit run (RFC 8259).
+        if (atEnd() || peek() < '0' || peek() > '9')
+            return fail("invalid number");
+        if (peek() == '0') {
+            advance();
+            if (!atEnd() && peek() >= '0' && peek() <= '9')
+                return fail("leading zero in number");
+        } else {
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        bool integral = true;
+        if (!atEnd() && peek() == '.') {
+            integral = false;
+            advance();
+            if (atEnd() || peek() < '0' || peek() > '9')
+                return fail("expected digit after decimal point");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            integral = false;
+            advance();
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                advance();
+            if (atEnd() || peek() < '0' || peek() > '9')
+                return fail("expected digit in exponent");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        const std::string token = s.substr(start, pos - start);
+        if (integral) {
+            // Exact 64-bit when it fits; overflow falls back to double.
+            std::uint64_t magnitude = 0;
+            bool overflow = false;
+            for (const char c : token) {
+                if (c == '-')
+                    continue;
+                const auto digit =
+                    static_cast<std::uint64_t>(c - '0');
+                if (magnitude > (UINT64_MAX - digit) / 10) {
+                    overflow = true;
+                    break;
+                }
+                magnitude = magnitude * 10 + digit;
+            }
+            if (!overflow) {
+                if (negative) {
+                    // |INT64_MIN| == 2^63.
+                    if (magnitude <= static_cast<std::uint64_t>(1) << 63) {
+                        out = Json(static_cast<std::int64_t>(-magnitude));
+                        return true;
+                    }
+                } else if (magnitude <=
+                           static_cast<std::uint64_t>(INT64_MAX)) {
+                    out = Json(static_cast<std::int64_t>(magnitude));
+                    return true;
+                } else {
+                    out = Json(magnitude);
+                    return true;
+                }
+            }
+        }
+        out = Json(std::strtod(token.c_str(), nullptr));
+        return true;
+    }
+};
+
+} // namespace
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind = Type::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind = Type::Array;
+    return j;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    AERO_CHECK(kind == Type::Object || kind == Type::Null,
+               "Json::operator[] on a non-object");
+    kind = Type::Object;
+    for (auto &m : memberList) {
+        if (m.first == key)
+            return m.second;
+    }
+    memberList.emplace_back(key, Json{});
+    return memberList.back().second;
+}
+
+Json &
+Json::push(Json value)
+{
+    AERO_CHECK(kind == Type::Array || kind == Type::Null,
+               "Json::push on a non-array");
+    kind = Type::Array;
+    items.push_back(std::move(value));
+    return *this;
+}
+
+bool
+Json::isNumeric() const
+{
+    return kind == Type::Number || kind == Type::Integer ||
+           kind == Type::Unsigned;
+}
+
+bool
+Json::isIntegral() const
+{
+    return kind == Type::Integer || kind == Type::Unsigned;
+}
+
+bool
+Json::asBool() const
+{
+    AERO_CHECK(kind == Type::Bool, "Json::asBool on a non-bool");
+    return boolean;
+}
+
+double
+Json::asDouble() const
+{
+    switch (kind) {
+      case Type::Number: return number;
+      case Type::Integer: return static_cast<double>(integer);
+      case Type::Unsigned: return static_cast<double>(uinteger);
+      default:
+        AERO_PANIC("Json::asDouble on a non-numeric value");
+    }
+}
+
+std::int64_t
+Json::asInt64() const
+{
+    if (kind == Type::Integer)
+        return integer;
+    if (kind == Type::Unsigned) {
+        AERO_CHECK(uinteger <= static_cast<std::uint64_t>(INT64_MAX),
+                   "Json::asInt64: value exceeds int64 range");
+        return static_cast<std::int64_t>(uinteger);
+    }
+    AERO_PANIC("Json::asInt64 on a non-integral value");
+}
+
+std::uint64_t
+Json::asUint64() const
+{
+    if (kind == Type::Unsigned)
+        return uinteger;
+    if (kind == Type::Integer) {
+        AERO_CHECK(integer >= 0, "Json::asUint64 on a negative value");
+        return static_cast<std::uint64_t>(integer);
+    }
+    AERO_PANIC("Json::asUint64 on a non-integral value");
+}
+
+const std::string &
+Json::asString() const
+{
+    AERO_CHECK(kind == Type::String, "Json::asString on a non-string");
+    return text;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind == Type::Array)
+        return items.size();
+    if (kind == Type::Object)
+        return memberList.size();
+    return 0;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    AERO_CHECK(kind == Type::Array, "Json::at on a non-array");
+    AERO_CHECK(i < items.size(), "Json::at index out of range: ", i);
+    return items[i];
+}
+
+const std::pair<std::string, Json> &
+Json::member(std::size_t i) const
+{
+    AERO_CHECK(kind == Type::Object, "Json::member on a non-object");
+    AERO_CHECK(i < memberList.size(),
+               "Json::member index out of range: ", i);
+    return memberList[i];
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind != Type::Object)
+        return nullptr;
+    for (const auto &m : memberList) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+void
+Json::write(std::string &out, int indent, int depth) const
+{
+    switch (kind) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += boolean ? "true" : "false";
+        break;
+      case Type::Number:
+        appendNumber(out, number);
+        break;
+      case Type::Integer:
+        out += std::to_string(integer);
+        break;
+      case Type::Unsigned:
+        out += std::to_string(uinteger);
+        break;
+      case Type::String:
+        appendEscaped(out, text);
+        break;
+      case Type::Array: {
+        out.push_back('[');
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendIndent(out, indent, depth + 1);
+            items[i].write(out, indent, depth + 1);
+        }
+        if (!items.empty())
+            appendIndent(out, indent, depth);
+        out.push_back(']');
+        break;
+      }
+      case Type::Object: {
+        out.push_back('{');
+        for (std::size_t i = 0; i < memberList.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendIndent(out, indent, depth + 1);
+            appendEscaped(out, memberList[i].first);
+            out += indent > 0 ? ": " : ":";
+            memberList[i].second.write(out, indent, depth + 1);
+        }
+        if (!memberList.empty())
+            appendIndent(out, indent, depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+std::string
+Json::ParseError::toString() const
+{
+    return detail::concat("line ", line, ", column ", column, ": ",
+                          message);
+}
+
+bool
+Json::parse(const std::string &text, Json *out, ParseError *err)
+{
+    AERO_CHECK(out != nullptr, "Json::parse needs an output value");
+    *out = Json();
+    Json parsed;
+    Parser parser(text, err);
+    if (!parser.run(&parsed))
+        return false;
+    *out = std::move(parsed);
+    return true;
+}
+
+Json
+Json::parseOrDie(const std::string &text, const std::string &what)
+{
+    Json out;
+    ParseError err;
+    if (!parse(text, &out, &err))
+        AERO_FATAL("cannot parse ", what, ": ", err.toString());
+    return out;
+}
+
+namespace
+{
+
+/** Numeric comparison exact over the full int64/uint64/double ranges. */
+bool
+numericEqual(const Json &a, const Json &b)
+{
+    // Integral pairs compare in integer arithmetic — exact on every
+    // platform, independent of long double's mantissa width.
+    if (a.isIntegral() && b.isIntegral()) {
+        const bool aNeg = a.type() == Json::Type::Integer &&
+                          a.asInt64() < 0;
+        const bool bNeg = b.type() == Json::Type::Integer &&
+                          b.asInt64() < 0;
+        if (aNeg != bNeg)
+            return false;
+        if (aNeg)
+            return a.asInt64() == b.asInt64();
+        return a.asUint64() == b.asUint64();
+    }
+    // A double is involved: compare at long double width (>= 64-bit
+    // mantissa on x86-64; elsewhere this inherits double's precision,
+    // which is all a double-sourced value ever had).
+    const auto widen = [](const Json &v) -> long double {
+        if (v.isIntegral()) {
+            return v.type() == Json::Type::Unsigned
+                ? static_cast<long double>(v.asUint64())
+                : static_cast<long double>(v.asInt64());
+        }
+        return static_cast<long double>(v.asDouble());
+    };
+    return widen(a) == widen(b);  // NaN != NaN by IEEE, as documented
+}
+
+} // namespace
+
+bool
+operator==(const Json &a, const Json &b)
+{
+    if (a.isNumeric() && b.isNumeric())
+        return numericEqual(a, b);
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case Json::Type::Null:
+        return true;
+      case Json::Type::Bool:
+        return a.boolean == b.boolean;
+      case Json::Type::String:
+        return a.text == b.text;
+      case Json::Type::Array:
+        return a.items == b.items;
+      case Json::Type::Object:
+        return a.memberList == b.memberList;
+      default:
+        return false;  // numeric cases handled above
+    }
+}
+
+} // namespace aero

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A minimal JSON value type with a serializer and a strict parser.
+ *
+ * Objects are insertion-ordered, so emitted keys are stable across runs
+ * and `parse(dump(x)) == x` round-trips preserve key order. The type is
+ * the backbone of every experiment artifact (`aero-sweep/1`,
+ * `aero-devchar/1`) and of the `aero_diff` regression gate that compares
+ * two such artifacts.
+ *
+ * Non-finite policy: JSON has no NaN/inf tokens. dump() serializes any
+ * non-finite double as `null` (never a bare `nan`/`inf` token), and the
+ * parser consequently reads such cells back as null. Consumers that need
+ * to distinguish "NaN" from "absent" must encode it themselves (e.g. as a
+ * string); the diff engine treats null-vs-null as equal and null-vs-number
+ * as a mismatch.
+ */
+
+#ifndef AERO_EXP_JSON_HH
+#define AERO_EXP_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aero
+{
+
+/** JSON document node: null, bool, number, string, array, or object. */
+class Json
+{
+  public:
+    /**
+     * Integer-valued numbers keep their exact 64-bit representation
+     * (Integer/Unsigned) instead of collapsing to double, so `seed` and
+     * `erases` columns survive round-trips bit-exactly.
+     */
+    enum class Type
+    {
+        Null, Bool, Number, Integer, Unsigned, String, Array, Object
+    };
+
+    Json() = default;  // null
+    Json(bool b) : kind(Type::Bool), boolean(b) {}
+    Json(double d) : kind(Type::Number), number(d) {}
+    Json(int i) : Json(static_cast<std::int64_t>(i)) {}
+    Json(std::int64_t i) : kind(Type::Integer), integer(i) {}
+    Json(std::uint64_t u) : kind(Type::Unsigned), uinteger(u) {}
+    Json(std::string s) : kind(Type::String), text(std::move(s)) {}
+    Json(const char *s) : Json(std::string(s)) {}
+
+    static Json object();
+    static Json array();
+
+    /** Object access: inserts a null member on first use of a key. */
+    Json &operator[](const std::string &key);
+
+    /** Array append. */
+    Json &push(Json value);
+
+    Type type() const { return kind; }
+    bool isNull() const { return kind == Type::Null; }
+    bool isBool() const { return kind == Type::Bool; }
+    bool isString() const { return kind == Type::String; }
+    bool isArray() const { return kind == Type::Array; }
+    bool isObject() const { return kind == Type::Object; }
+    /** Number, Integer, or Unsigned. */
+    bool isNumeric() const;
+    /** Integer or Unsigned (exact 64-bit payload, not a double). */
+    bool isIntegral() const;
+
+    /** @name Checked accessors (fatal on a type mismatch) */
+    /** @{ */
+    bool asBool() const;
+    /** Numeric value as double (any of the three numeric types). */
+    double asDouble() const;
+    std::int64_t asInt64() const;
+    std::uint64_t asUint64() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** Array length or object member count (0 for scalars). */
+    std::size_t size() const;
+    /** Array element (fatal when out of range or not an array). */
+    const Json &at(std::size_t i) const;
+    /** Object member by position, in insertion order. */
+    const std::pair<std::string, Json> &member(std::size_t i) const;
+    /** Object member by key; nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+    bool contains(const std::string &key) const { return find(key); }
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** Parse failure: 1-based line/column of the offending character. */
+    struct ParseError
+    {
+        std::string message;
+        std::size_t line = 0;
+        std::size_t column = 0;
+        std::size_t offset = 0;
+
+        /** "line L, column C: message" (for logs and CLI output). */
+        std::string toString() const;
+    };
+
+    /**
+     * Strict RFC 8259 parse of a complete document. Returns false and
+     * fills @p err (when given) on malformed input; @p out is left null.
+     * Duplicate object keys keep the last value.
+     */
+    static bool parse(const std::string &text, Json *out,
+                      ParseError *err = nullptr);
+
+    /** parse() or die with the error position (@p what names the input). */
+    static Json parseOrDie(const std::string &text,
+                           const std::string &what = "JSON");
+
+    /**
+     * Deep structural equality. Numeric nodes compare by value across
+     * Integer/Unsigned/Number (so a round-tripped uint64 equals the
+     * Integer the parser produced); NaN compares unequal to everything,
+     * per IEEE. Objects must match in key order as well as content.
+     */
+    friend bool operator==(const Json &a, const Json &b);
+    friend bool operator!=(const Json &a, const Json &b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    void write(std::string &out, int indent, int depth) const;
+
+    Type kind = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::int64_t integer = 0;
+    std::uint64_t uinteger = 0;
+    std::string text;
+    std::vector<Json> items;
+    std::vector<std::pair<std::string, Json>> memberList;
+};
+
+} // namespace aero
+
+#endif // AERO_EXP_JSON_HH

@@ -1,171 +1,13 @@
 #include "exp/report.hh"
 
-#include <cmath>
-#include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
 
 namespace aero
 {
-
-namespace
-{
-
-void
-appendEscaped(std::string &out, const std::string &s)
-{
-    out.push_back('"');
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out.push_back(c);
-            }
-        }
-    }
-    out.push_back('"');
-}
-
-void
-appendNumber(std::string &out, double d)
-{
-    if (!std::isfinite(d)) {
-        out += "null";  // JSON has no inf/nan
-        return;
-    }
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.12g", d);
-    out += buf;
-    // "%g" may print a bare integer; keep it a double for typed readers.
-    if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
-        std::string::npos)
-        out += ".0";
-}
-
-void
-appendIndent(std::string &out, int indent, int depth)
-{
-    if (indent <= 0)
-        return;
-    out.push_back('\n');
-    out.append(static_cast<std::size_t>(indent * depth), ' ');
-}
-
-} // namespace
-
-Json
-Json::object()
-{
-    Json j;
-    j.type = Type::Object;
-    return j;
-}
-
-Json
-Json::array()
-{
-    Json j;
-    j.type = Type::Array;
-    return j;
-}
-
-Json &
-Json::operator[](const std::string &key)
-{
-    AERO_CHECK(type == Type::Object || type == Type::Null,
-               "Json::operator[] on a non-object");
-    type = Type::Object;
-    for (auto &m : members) {
-        if (m.first == key)
-            return m.second;
-    }
-    members.emplace_back(key, Json{});
-    return members.back().second;
-}
-
-Json &
-Json::push(Json value)
-{
-    AERO_CHECK(type == Type::Array || type == Type::Null,
-               "Json::push on a non-array");
-    type = Type::Array;
-    items.push_back(std::move(value));
-    return *this;
-}
-
-void
-Json::write(std::string &out, int indent, int depth) const
-{
-    switch (type) {
-      case Type::Null:
-        out += "null";
-        break;
-      case Type::Bool:
-        out += boolean ? "true" : "false";
-        break;
-      case Type::Number:
-        appendNumber(out, number);
-        break;
-      case Type::Integer:
-        out += std::to_string(integer);
-        break;
-      case Type::Unsigned:
-        out += std::to_string(uinteger);
-        break;
-      case Type::String:
-        appendEscaped(out, text);
-        break;
-      case Type::Array: {
-        out.push_back('[');
-        for (std::size_t i = 0; i < items.size(); ++i) {
-            if (i)
-                out.push_back(',');
-            appendIndent(out, indent, depth + 1);
-            items[i].write(out, indent, depth + 1);
-        }
-        if (!items.empty())
-            appendIndent(out, indent, depth);
-        out.push_back(']');
-        break;
-      }
-      case Type::Object: {
-        out.push_back('{');
-        for (std::size_t i = 0; i < members.size(); ++i) {
-            if (i)
-                out.push_back(',');
-            appendIndent(out, indent, depth + 1);
-            appendEscaped(out, members[i].first);
-            out += indent > 0 ? ": " : ":";
-            members[i].second.write(out, indent, depth + 1);
-        }
-        if (!members.empty())
-            appendIndent(out, indent, depth);
-        out.push_back('}');
-        break;
-      }
-    }
-}
-
-std::string
-Json::dump(int indent) const
-{
-    std::string out;
-    write(out, indent, 0);
-    return out;
-}
 
 Json
 toJson(const SimResult &result)
@@ -249,7 +91,8 @@ std::string
 toCsv(const std::vector<SimResult> &results)
 {
     std::ostringstream os;
-    os.precision(12);  // match the JSON serializer's %.12g
+    // Round-trippable doubles, like the JSON serializer's shortest form.
+    os.precision(std::numeric_limits<double>::max_digits10);
     os << "workload,scheme,pec,suspension,misprediction_rate,"
           "rber_requirement,requests,seed,avg_read_us,avg_write_us,iops,"
           "p999_us,p9999_us,p999999_us,erases,avg_erase_ms,suspensions,"
@@ -285,6 +128,25 @@ writeJsonFile(const std::string &path, const Json &doc)
 {
     writeTextFile(path, doc.dump(2) + "\n");
     AERO_INFORM("wrote ", path);
+}
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        AERO_FATAL("cannot open '", path, "' for reading");
+    std::ostringstream content;
+    content << in.rdbuf();
+    if (in.bad())
+        AERO_FATAL("failed reading '", path, "'");
+    return content.str();
+}
+
+Json
+readJsonFile(const std::string &path)
+{
+    return Json::parseOrDie(readTextFile(path), path);
 }
 
 } // namespace aero

@@ -2,11 +2,11 @@
  * @file
  * Machine-readable experiment reports.
  *
- * A minimal JSON value type (insertion-ordered objects, so emitted keys
- * are stable across runs and diffs stay readable) plus serializers that
- * turn SweepSpec/SimResult rows into a JSON document or a CSV table.
- * Every figure bench drops one of these artifacts next to its printf
- * table so plots and regression checks can consume the numbers directly.
+ * Serializers that turn SweepSpec/SimResult rows into a JSON document
+ * (see exp/json.hh for the value type) or a CSV table, plus the file
+ * I/O helpers every artifact producer/consumer shares. Every figure
+ * bench drops one of these artifacts next to its printf table so plots
+ * and regression checks (`aero_diff`) can consume the numbers directly.
  */
 
 #ifndef AERO_EXP_REPORT_HH
@@ -14,59 +14,14 @@
 
 #include <cstdint>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "devchar/simstudy.hh"
+#include "exp/json.hh"
 #include "exp/sweep.hh"
 
 namespace aero
 {
-
-/** JSON document node: null, bool, number, string, array, or object. */
-class Json
-{
-  public:
-    Json() = default;  // null
-    Json(bool b) : type(Type::Bool), boolean(b) {}
-    Json(double d) : type(Type::Number), number(d) {}
-    Json(int i) : Json(static_cast<std::int64_t>(i)) {}
-    Json(std::int64_t i) : type(Type::Integer), integer(i) {}
-    Json(std::uint64_t u) : type(Type::Unsigned), uinteger(u) {}
-    Json(std::string s) : type(Type::String), text(std::move(s)) {}
-    Json(const char *s) : Json(std::string(s)) {}
-
-    static Json object();
-    static Json array();
-
-    /** Object access: inserts a null member on first use of a key. */
-    Json &operator[](const std::string &key);
-
-    /** Array append. */
-    Json &push(Json value);
-
-    bool isNull() const { return type == Type::Null; }
-
-    /** Serialize; indent > 0 pretty-prints with that many spaces. */
-    std::string dump(int indent = 0) const;
-
-  private:
-    enum class Type
-    {
-        Null, Bool, Number, Integer, Unsigned, String, Array, Object
-    };
-
-    void write(std::string &out, int indent, int depth) const;
-
-    Type type = Type::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::int64_t integer = 0;
-    std::uint64_t uinteger = 0;
-    std::string text;
-    std::vector<Json> items;
-    std::vector<std::pair<std::string, Json>> members;
-};
 
 /** One result row as a flat JSON object with stable keys. */
 Json toJson(const SimResult &result);
@@ -89,6 +44,12 @@ void writeTextFile(const std::string &path, const std::string &content);
 
 /** dump(2) + trailing newline to @p path; logs the artifact location. */
 void writeJsonFile(const std::string &path, const Json &doc);
+
+/** Read a whole file or die (fatal on I/O failure). */
+std::string readTextFile(const std::string &path);
+
+/** readTextFile + parse; fatal with line/column on malformed JSON. */
+Json readJsonFile(const std::string &path);
 
 } // namespace aero
 

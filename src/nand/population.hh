@@ -44,14 +44,28 @@ class ChipPopulation
     void
     forEachSampledBlock(int blocks_per_chip, Fn &&fn)
     {
-        for (auto &c : chips) {
-            const int n = c.numBlocks();
-            const int take = blocks_per_chip < n ? blocks_per_chip : n;
-            for (int i = 0; i < take; ++i) {
-                const auto id = static_cast<BlockId>(
-                    (static_cast<long long>(i) * n) / take);
-                fn(c, id);
-            }
+        for (int c = 0; c < numChips(); ++c)
+            forEachSampledBlockOfChip(c, blocks_per_chip, fn);
+    }
+
+    /**
+     * The same sampled-block walk restricted to one chip. Chips own all
+     * of their mutable state (blocks, RNG streams), so callers may visit
+     * different chips from different threads concurrently — the basis of
+     * the chip-sharded characterization experiments.
+     */
+    template <typename Fn>
+    void
+    forEachSampledBlockOfChip(int chip_index, int blocks_per_chip,
+                              Fn &&fn)
+    {
+        NandChip &c = chip(chip_index);
+        const int n = c.numBlocks();
+        const int take = blocks_per_chip < n ? blocks_per_chip : n;
+        for (int i = 0; i < take; ++i) {
+            const auto id = static_cast<BlockId>(
+                (static_cast<long long>(i) * n) / take);
+            fn(c, id);
         }
     }
 

@@ -1,0 +1,41 @@
+# One golden regression-gate check, run as a CTest driver:
+#
+#   cmake -DBENCH=<bench-binary> -DDIFF=<aero_diff-binary>
+#         -DGOLDEN=<checked-in baseline> -DOUT=<scratch artifact>
+#         [-DREL_TOL=<tol>] -P run_gate.cmake
+#
+# Regenerates the bench's --small artifact and diffs it against the
+# checked-in baseline; any metric drifting beyond tolerance fails the
+# test with aero_diff's per-metric delta table in the output.
+#
+# To refresh the baselines after an intentional change:
+#   cmake --build build --target regen-golden
+
+if(NOT DEFINED REL_TOL)
+    # Zero would do in a fixed toolchain; the default absorbs last-ulp
+    # libm differences in *floating-point* metrics across compilers
+    # while still catching real drift. Integer metrics always compare
+    # exactly — if a toolchain change flips a count, regenerate the
+    # baselines (regen-golden) and review the delta.
+    set(REL_TOL 1e-6)
+endif()
+
+execute_process(
+    COMMAND "${BENCH}" --small --json "${OUT}"
+    RESULT_VARIABLE bench_rc
+    OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "bench '${BENCH}' failed (exit ${bench_rc})")
+endif()
+
+execute_process(
+    COMMAND "${DIFF}" "${GOLDEN}" "${OUT}" --rel-tol "${REL_TOL}"
+    RESULT_VARIABLE diff_rc
+    OUTPUT_VARIABLE diff_out
+    ECHO_OUTPUT_VARIABLE)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "regenerated artifact drifted from ${GOLDEN} "
+        "(aero_diff exit ${diff_rc}); if the change is intentional, "
+        "rebuild the baselines with the 'regen-golden' target")
+endif()

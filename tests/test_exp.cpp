@@ -11,6 +11,9 @@
 #include <limits>
 
 #include "core/aero_scheme.hh"
+#include "core/ept_builder.hh"
+#include "devchar/experiments.hh"
+#include "devchar/lifetime.hh"
 #include "erase/scheme_registry.hh"
 #include "exp/report.hh"
 #include "exp/sweep.hh"
@@ -263,6 +266,89 @@ TEST(SweepRunner, DeterministicAcrossThreadCounts)
         EXPECT_EQ(serial[i].writeAmplification,
                   parallel[i].writeAmplification);
     }
+}
+
+TEST(DevcharExperiments, ChipShardedDeterministicAcrossThreadCounts)
+{
+    // The golden gate assumes the chip-sharded campaign engine
+    // (devchar/chip_shard.hh) folds records in the serial (pec, chip,
+    // block) order for any pool size; pin that down at the unit level
+    // for both a fig experiment and the EptBuilder campaign.
+    FarmConfig fc;
+    fc.numChips = 4;
+    fc.blocksPerChip = 6;
+    const std::vector<double> pecs = {1000.0, 2500.0};
+    setenv("AERO_SWEEP_THREADS", "1", 1);
+    const auto serial = runFig7Experiment(fc, pecs);
+    setenv("AERO_SWEEP_THREADS", "4", 1);
+    const auto parallel = runFig7Experiment(fc, pecs);
+    // Restore the default before any assertion can return early, so a
+    // failure here cannot leak a forced pool size into later tests.
+    unsetenv("AERO_SWEEP_THREADS");
+    EXPECT_EQ(serial.gammaEstimate, parallel.gammaEstimate);
+    EXPECT_EQ(serial.deltaEstimate, parallel.deltaEstimate);
+    ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+    for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+        EXPECT_EQ(serial.rows[i].nIspe, parallel.rows[i].nIspe);
+        EXPECT_EQ(serial.rows[i].samples, parallel.rows[i].samples);
+        EXPECT_EQ(serial.rows[i].maxFailByRemaining,
+                  parallel.rows[i].maxFailByRemaining);
+        EXPECT_EQ(serial.rows[i].meanFailByRemaining,
+                  parallel.rows[i].meanFailByRemaining);
+    }
+
+    PopulationConfig pc;
+    pc.numChips = 6;
+    pc.geometry = ChipGeometry{1, 16, 8};
+    pc.seed = 99;
+    EptBuilderConfig bc;
+    bc.blocksPerChip = 6;
+    bc.pecPoints = {0, 1500, 3000};
+    setenv("AERO_SWEEP_THREADS", "1", 1);
+    ChipPopulation popSerial(pc);
+    EptBuilder builderSerial(popSerial, bc);
+    const Ept eptSerial = builderSerial.build();
+    setenv("AERO_SWEEP_THREADS", "4", 1);
+    ChipPopulation popParallel(pc);
+    EptBuilder builderParallel(popParallel, bc);
+    const Ept eptParallel = builderParallel.build();
+    unsetenv("AERO_SWEEP_THREADS");
+    EXPECT_EQ(builderSerial.measurements(),
+              builderParallel.measurements());
+    for (int row = 1; row <= Ept::kRows; ++row) {
+        for (int rg = 0; rg < Ept::kRanges; ++rg) {
+            EXPECT_EQ(eptSerial.consSlots(row, rg),
+                      eptParallel.consSlots(row, rg));
+            EXPECT_EQ(eptSerial.aggrSlots(row, rg),
+                      eptParallel.aggrSlots(row, rg));
+        }
+    }
+}
+
+TEST(LifetimeTester, DeterministicAcrossThreadCounts)
+{
+    // The per-checkpoint farm loop is sharded chip-per-task; partials
+    // fold in chip order, so 1 thread and 4 threads must agree exactly
+    // (bit-for-bit), including the early-exit crossing checkpoint.
+    LifetimeConfig cfg;
+    cfg.farm.numChips = 4;
+    cfg.farm.blocksPerChip = 5;
+    cfg.maxPec = 1000;
+    cfg.checkpointEvery = 250;
+    cfg.threads = 1;
+    const auto serial = LifetimeTester(cfg).run(SchemeKind::Aero);
+    cfg.threads = 4;
+    const auto parallel = LifetimeTester(cfg).run(SchemeKind::Aero);
+    ASSERT_EQ(serial.curve.size(), parallel.curve.size());
+    for (std::size_t i = 0; i < serial.curve.size(); ++i) {
+        EXPECT_EQ(serial.curve[i].first, parallel.curve[i].first);
+        EXPECT_EQ(serial.curve[i].second, parallel.curve[i].second);
+    }
+    EXPECT_EQ(serial.crossed, parallel.crossed);
+    EXPECT_EQ(serial.lifetimePec, parallel.lifetimePec);
+    EXPECT_EQ(serial.avgEraseLatencyMs, parallel.avgEraseLatencyMs);
+    EXPECT_EQ(serial.avgLoops, parallel.avgLoops);
+    EXPECT_EQ(serial.freshMrber, parallel.freshMrber);
 }
 
 TEST(SweepRunner, ProgressCoversEveryPointExactlyOnce)

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the Json value type's parser and round-trip contract:
+ * `parse(dump(x)) == x` over a corpus covering escapes, unicode,
+ * nested containers, the int64/uint64 boundaries, and doubles
+ * (dump() emits the shortest form that round-trips bit-exactly);
+ * malformed-input error positions; file-level write/read round trips;
+ * and the documented NaN/infinity dump policy (null).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "exp/report.hh"
+
+namespace aero
+{
+namespace
+{
+
+Json
+parsed(const std::string &text)
+{
+    Json out;
+    Json::ParseError err;
+    const bool ok = Json::parse(text, &out, &err);
+    EXPECT_TRUE(ok) << text << " -> " << err.toString();
+    return out;
+}
+
+Json::ParseError
+parseError(const std::string &text)
+{
+    Json out;
+    Json::ParseError err;
+    const bool ok = Json::parse(text, &out, &err);
+    EXPECT_FALSE(ok) << "'" << text << "' unexpectedly parsed";
+    EXPECT_TRUE(out.isNull());  // failed parses leave the output null
+    return err;
+}
+
+// --------------------------------------------------------------------------
+// Round trips
+// --------------------------------------------------------------------------
+
+TEST(JsonRoundTrip, ScalarCorpus)
+{
+    const std::vector<Json> corpus = {
+        Json(),
+        Json(true),
+        Json(false),
+        Json(0),
+        Json(-1),
+        Json(std::int64_t{42}),
+        Json(std::numeric_limits<std::int64_t>::max()),
+        Json(std::numeric_limits<std::int64_t>::min()),
+        Json(std::uint64_t{0}),
+        Json(std::numeric_limits<std::uint64_t>::max()),
+        Json(0.5),
+        Json(-3.25),
+        Json(1e10),
+        Json(-2.5e-3),
+        Json(123456789.25),
+        // Not exact in 12 significant digits — the shortest-form
+        // serializer must still round-trip them bit-exactly.
+        Json(0.1 + 0.2),
+        Json(1.0 / 3.0),
+        Json(std::numeric_limits<double>::min()),
+        Json(std::numeric_limits<double>::max()),
+        Json(std::numeric_limits<double>::denorm_min()),
+        Json(""),
+        Json("plain"),
+        Json("with \"quotes\" and \\backslashes\\"),
+        Json("tab\there\nnewline\rreturn"),
+        Json(std::string("control\x01\x1f chars")),
+        Json("caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80"),  // é € emoji
+    };
+    for (const auto &value : corpus) {
+        for (const int indent : {0, 2}) {
+            const std::string text = value.dump(indent);
+            const Json back = parsed(text);
+            EXPECT_TRUE(back == value) << text;
+            // dump is canonical: a second trip is textually identical.
+            EXPECT_EQ(back.dump(indent), text);
+        }
+    }
+}
+
+TEST(JsonRoundTrip, NestedContainersPreserveShapeAndKeyOrder)
+{
+    Json doc = Json::object();
+    doc["zeta"] = 1;
+    doc["alpha"] = "second, not sorted first";
+    Json rows = Json::array();
+    Json row = Json::object();
+    row["x"] = 0.5;
+    row["flags"] = Json::array();
+    row["flags"].push(true).push(Json()).push("mixed");
+    rows.push(row);
+    rows.push(Json::array());   // empty array stays an array
+    rows.push(Json::object());  // empty object stays an object
+    doc["rows"] = std::move(rows);
+
+    for (const int indent : {0, 2}) {
+        const Json back = parsed(doc.dump(indent));
+        EXPECT_TRUE(back == doc);
+        EXPECT_EQ(back.member(0).first, "zeta");
+        EXPECT_EQ(back.member(1).first, "alpha");
+        EXPECT_TRUE(back.find("rows")->at(1).isArray());
+        EXPECT_TRUE(back.find("rows")->at(2).isObject());
+    }
+}
+
+TEST(JsonRoundTrip, IntegerBoundariesKeepExactTypes)
+{
+    const Json i64max = parsed("9223372036854775807");
+    EXPECT_TRUE(i64max.isIntegral());
+    EXPECT_EQ(i64max.asInt64(), std::numeric_limits<std::int64_t>::max());
+
+    const Json i64min = parsed("-9223372036854775808");
+    EXPECT_TRUE(i64min.isIntegral());
+    EXPECT_EQ(i64min.asInt64(), std::numeric_limits<std::int64_t>::min());
+
+    // One past int64: still exact, as uint64.
+    const Json above = parsed("9223372036854775808");
+    EXPECT_TRUE(above.isIntegral());
+    EXPECT_EQ(above.asUint64(), std::uint64_t{9223372036854775808u});
+
+    const Json u64max = parsed("18446744073709551615");
+    EXPECT_TRUE(u64max.isIntegral());
+    EXPECT_EQ(u64max.asUint64(),
+              std::numeric_limits<std::uint64_t>::max());
+
+    // Past uint64: falls back to double rather than failing.
+    const Json beyond = parsed("18446744073709551616");
+    EXPECT_TRUE(beyond.isNumeric());
+    EXPECT_FALSE(beyond.isIntegral());
+    EXPECT_DOUBLE_EQ(beyond.asDouble(), 1.8446744073709552e19);
+
+    // Past int64 on the negative side too.
+    const Json belowMin = parsed("-9223372036854775809");
+    EXPECT_FALSE(belowMin.isIntegral());
+}
+
+TEST(JsonRoundTrip, UnicodeEscapesDecodeToUtf8)
+{
+    EXPECT_EQ(parsed("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(parsed("\"\\u20ac\"").asString(), "\xe2\x82\xac");
+    // Surrogate pair -> one 4-byte code point.
+    EXPECT_EQ(parsed("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+    // Escaped controls round-trip through dump()'s \uXXXX spelling.
+    EXPECT_EQ(parsed("\"\\u0001\"").asString(), std::string(1, '\x01'));
+    EXPECT_EQ(parsed("\"\\b\\f\\/\"").asString(), "\b\f/");
+}
+
+TEST(JsonRoundTrip, DuplicateKeysKeepTheLastValue)
+{
+    const Json doc = parsed("{\"a\": 1, \"a\": 2}");
+    ASSERT_EQ(doc.size(), 1u);
+    EXPECT_EQ(doc.find("a")->asInt64(), 2);
+}
+
+// --------------------------------------------------------------------------
+// Equality semantics
+// --------------------------------------------------------------------------
+
+TEST(JsonEquality, NumericValuesCompareAcrossTypes)
+{
+    EXPECT_TRUE(Json(std::uint64_t{5}) == Json(std::int64_t{5}));
+    EXPECT_TRUE(Json(5.0) == Json(std::int64_t{5}));
+    EXPECT_FALSE(Json(std::uint64_t{5}) == Json(std::int64_t{-5}));
+    // Exact even where double would lose precision.
+    EXPECT_FALSE(Json(std::numeric_limits<std::uint64_t>::max()) ==
+                 Json(std::int64_t{9223372036854775807}));
+    EXPECT_FALSE(Json(std::nan("")) == Json(std::nan("")));
+}
+
+TEST(JsonEquality, ObjectsAreKeyOrderSensitive)
+{
+    Json ab = Json::object();
+    ab["a"] = 1;
+    ab["b"] = 2;
+    Json ba = Json::object();
+    ba["b"] = 2;
+    ba["a"] = 1;
+    EXPECT_FALSE(ab == ba);
+    EXPECT_TRUE(ab != ba);
+    EXPECT_FALSE(ab == Json(1));
+    EXPECT_FALSE(Json() == Json(false));
+}
+
+// --------------------------------------------------------------------------
+// Non-finite policy
+// --------------------------------------------------------------------------
+
+TEST(JsonPolicy, NonFiniteDumpsAsNullAndParsesBackAsNull)
+{
+    Json doc = Json::object();
+    doc["nan"] = std::nan("");
+    doc["inf"] = std::numeric_limits<double>::infinity();
+    doc["ninf"] = -std::numeric_limits<double>::infinity();
+    const std::string text = doc.dump();
+    EXPECT_EQ(text, "{\"nan\":null,\"inf\":null,\"ninf\":null}");
+    const Json back = parsed(text);
+    EXPECT_TRUE(back.find("nan")->isNull());
+    EXPECT_TRUE(back.find("inf")->isNull());
+    EXPECT_TRUE(back.find("ninf")->isNull());
+}
+
+// --------------------------------------------------------------------------
+// Malformed input: error positions
+// --------------------------------------------------------------------------
+
+TEST(JsonParseErrors, ReportLineAndColumn)
+{
+    {
+        const auto err = parseError("");
+        EXPECT_EQ(err.line, 1u);
+        EXPECT_EQ(err.column, 1u);
+    }
+    {
+        // The trailing comma makes '}' appear where a key must be.
+        const auto err = parseError("{\n  \"a\": 1,\n}");
+        EXPECT_EQ(err.line, 3u);
+        EXPECT_EQ(err.column, 1u);
+    }
+    {
+        const auto err = parseError("{\"a\" 1}");
+        EXPECT_EQ(err.line, 1u);
+        EXPECT_EQ(err.column, 6u);
+        EXPECT_NE(err.message.find("':'"), std::string::npos);
+    }
+    {
+        const auto err = parseError("[1, 2");
+        EXPECT_EQ(err.line, 1u);
+        EXPECT_EQ(err.column, 6u);
+    }
+    {
+        const auto err = parseError("1 2");
+        EXPECT_EQ(err.line, 1u);
+        EXPECT_EQ(err.column, 3u);
+        EXPECT_NE(err.message.find("trailing"), std::string::npos);
+    }
+    {
+        const auto err = parseError("\"ab\\x\"");
+        EXPECT_EQ(err.line, 1u);
+        EXPECT_EQ(err.column, 5u);
+    }
+    {
+        const auto err = parseError("01");
+        EXPECT_EQ(err.column, 2u);
+        EXPECT_NE(err.message.find("leading zero"), std::string::npos);
+    }
+    EXPECT_NE(parseError("{\"a\": nul}").message.find("invalid token"),
+              std::string::npos);
+    parseError("\"unterminated");
+    parseError("\"raw\ncontrol\"");
+    parseError("[1,]");
+    parseError("[1 2]");
+    parseError("-");
+    parseError("1.");
+    parseError(".5");
+    parseError("1e");
+    parseError("\"\\ud800\"");        // unpaired high surrogate
+    parseError("\"\\udc00\"");        // unpaired low surrogate
+    parseError("\"\\ud83d\\u0041\""); // high surrogate + non-surrogate
+    parseError("\"\\u12g4\"");        // bad hex digit
+    parseError("{\"a\": 1");          // unterminated object
+    parseError("tru");
+    parseError(std::string(300, '['));  // past the depth limit
+}
+
+TEST(JsonParseErrors, ToStringMentionsPosition)
+{
+    const auto err = parseError("[\n  42,\n  oops\n]");
+    EXPECT_EQ(err.line, 3u);
+    EXPECT_EQ(err.column, 3u);
+    EXPECT_EQ(err.toString(), "line 3, column 3: invalid token");
+}
+
+TEST(JsonParseErrors, ParseOrDieDiesWithPosition)
+{
+    EXPECT_DEATH((void)Json::parseOrDie("{oops", "test input"),
+                 "line 1, column 2");
+}
+
+// --------------------------------------------------------------------------
+// Accessors
+// --------------------------------------------------------------------------
+
+TEST(JsonFiles, WriteReadRoundTripThroughDisk)
+{
+    Json doc = Json::object();
+    doc["schema"] = "aero-devchar/1";
+    doc["rows"] = Json::array();
+    doc["rows"].push(Json(std::int64_t{42})).push(Json(0.5));
+    const std::string path =
+        testing::TempDir() + "aero_json_roundtrip.json";
+    writeJsonFile(path, doc);
+    EXPECT_EQ(readTextFile(path), doc.dump(2) + "\n");
+    EXPECT_TRUE(readJsonFile(path) == doc);
+    EXPECT_DEATH((void)readJsonFile(path + ".does-not-exist"),
+                 "cannot open");
+}
+
+TEST(JsonAccessors, FindContainsAtMember)
+{
+    const Json doc = parsed(
+        "{\"name\": \"aero\", \"rows\": [1, 2, 3], \"ok\": true}");
+    EXPECT_TRUE(doc.contains("name"));
+    EXPECT_FALSE(doc.contains("absent"));
+    EXPECT_EQ(doc.find("absent"), nullptr);
+    EXPECT_EQ(Json(1).find("anything"), nullptr);
+    EXPECT_EQ(doc.find("name")->asString(), "aero");
+    EXPECT_TRUE(doc.find("ok")->asBool());
+    const Json &rows = *doc.find("rows");
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows.at(2).asInt64(), 3);
+    EXPECT_EQ(doc.member(1).first, "rows");
+    EXPECT_EQ(Json("scalar").size(), 0u);
+}
+
+} // namespace
+} // namespace aero
