@@ -19,11 +19,12 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts = bench::parseArtifactArgs(argc, argv);
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Figure 13: SSD lifetime and reliability comparison");
     LifetimeConfig cfg;
-    cfg.farm.numChips = 16;
-    cfg.farm.blocksPerChip = 24;
+    cfg.farm.numChips = artifacts.small ? 6 : 16;
+    cfg.farm.blocksPerChip = artifacts.small ? 10 : 24;
     cfg.checkpointEvery = 250;
     const LifetimeTester tester(cfg);
     const auto results = tester.runAll();  // parallel across schemes
@@ -67,6 +68,14 @@ main(int argc, char **argv)
     if (artifacts.wantJson()) {
         Json doc = Json::object();
         doc["schema"] = "aero-fig13/1";
+        Json axes = Json::array();
+        axes.push("scheme");
+        doc["axes"] = std::move(axes);
+        Json spec = Json::object();
+        spec["num_chips"] = cfg.farm.numChips;
+        spec["blocks_per_chip"] = cfg.farm.blocksPerChip;
+        spec["small"] = artifacts.small;
+        doc["spec"] = std::move(spec);
         doc["rber_requirement"] = cfg.rberRequirement;
         Json rows = Json::array();
         for (const auto &r : results) {

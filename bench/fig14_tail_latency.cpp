@@ -28,17 +28,28 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts = bench::parseArtifactArgs(argc, argv);
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Figure 14: read tail latency (normalized to Baseline)");
 
-    constexpr int kSeeds = 3;  // tail noise reduction
-    const SweepSpec spec = SweepBuilder()
-                               .allTable3Workloads()
-                               .allSchemes()
-                               .paperPecs()
-                               .repeats(kSeeds)
-                               .requests(defaultSimRequests())
-                               .build();
+    // --small: the regression-gate grid — three workloads, two PEC
+    // points, one seed, a fixed request count (not AERO_SIM_REQUESTS,
+    // so the golden baselines are hermetic).
+    SweepBuilder builder;
+    if (artifacts.small) {
+        builder.workloads({"prxy", "hm", "usr"})
+            .allSchemes()
+            .pecs({500.0, 2500.0})
+            .requests(2000);
+    } else {
+        constexpr int kSeeds = 3;  // tail noise reduction
+        builder.allTable3Workloads()
+            .allSchemes()
+            .paperPecs()
+            .repeats(kSeeds)
+            .requests(defaultSimRequests());
+    }
+    const SweepSpec spec = builder.build();
     std::printf("requests/run: %llu (env AERO_SIM_REQUESTS), "
                 "%zu points on %d threads (env AERO_SWEEP_THREADS)\n",
                 static_cast<unsigned long long>(spec.requests), spec.size(),

@@ -19,9 +19,12 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts = bench::parseArtifactArgs(argc, argv);
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Figure 15: erase suspension vs AERO");
 
+    // --small pins a fixed request count so the golden baselines do not
+    // depend on AERO_SIM_REQUESTS; the grid shape is already compact.
     const SweepSpec spec =
         SweepBuilder()
             .workload("prxy")
@@ -30,7 +33,7 @@ main(int argc, char **argv)
             .paperPecs()
             .suspensions(
                 {SuspensionMode::None, SuspensionMode::MidSegment})
-            .requests(defaultSimRequests())
+            .requests(artifacts.small ? 2000 : defaultSimRequests())
             .build();
     std::printf("workload prxy, %llu requests/run, %zu points on %d "
                 "threads\n",

@@ -19,15 +19,20 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts = bench::parseArtifactArgs(argc, argv);
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Figure 16: impact of misprediction rate");
-    const std::vector<double> rates = {0.0, 0.01, 0.05, 0.10, 0.20};
+    // --small: the regression-gate config — three rates, a smaller
+    // block farm, and a fixed request count for the tail-latency side.
+    const std::vector<double> rates =
+        artifacts.small ? std::vector<double>{0.0, 0.10, 0.20}
+                        : std::vector<double>{0.0, 0.01, 0.05, 0.10, 0.20};
 
     // Lifetime side: one endurance run per (rate, scheme) plus the
     // Baseline reference, all independent, all in parallel.
     LifetimeConfig lc;
-    lc.farm.numChips = 6;
-    lc.farm.blocksPerChip = 12;
+    lc.farm.numChips = artifacts.small ? 4 : 6;
+    lc.farm.blocksPerChip = artifacts.small ? 6 : 12;
     struct LifetimeCase
     {
         double rate;
@@ -62,10 +67,11 @@ main(int argc, char **argv)
     // Tail-latency side (0.5K PEC, prxy): one Baseline reference point
     // plus AERO across the misprediction axis (Baseline ignores the
     // misprediction knob, so sweeping it there would waste 4 runs).
-    SweepBuilder tail = SweepBuilder()
-                            .workload("prxy")
-                            .pec(500.0)
-                            .requests(defaultSimRequests());
+    SweepBuilder tail =
+        SweepBuilder()
+            .workload("prxy")
+            .pec(500.0)
+            .requests(artifacts.small ? 2000 : defaultSimRequests());
     const SweepSpec base_spec =
         tail.scheme(SchemeKind::Baseline).build();
     const SweepSpec spec = tail.scheme(SchemeKind::Aero)
@@ -92,6 +98,15 @@ main(int argc, char **argv)
     if (artifacts.wantJson()) {
         Json doc = Json::object();
         doc["schema"] = "aero-fig16/1";
+        Json specDoc = Json::object();
+        specDoc["num_chips"] = lc.farm.numChips;
+        specDoc["blocks_per_chip"] = lc.farm.blocksPerChip;
+        Json rateAxis = Json::array();
+        for (const double r : rates)
+            rateAxis.push(r);
+        specDoc["misprediction_rates"] = std::move(rateAxis);
+        specDoc["small"] = artifacts.small;
+        doc["spec"] = std::move(specDoc);
         Json life = Json::array();
         for (std::size_t i = 0; i < cases.size(); ++i) {
             Json row = Json::object();

@@ -18,19 +18,24 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts = bench::parseArtifactArgs(argc, argv);
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Table 2: simulated SSD configurations");
     std::printf("paper scale:\n%s\n", SsdConfig::paper().summary().c_str());
     std::printf("bench scale (capacity-reduced, same topology):\n%s",
                 SsdConfig::bench().summary().c_str());
 
     bench::header("Table 3: workload characteristics (generated traces)");
+    // --small: shorter traces over a smaller footprint for the gate.
+    const std::uint64_t footprint_pages =
+        artifacts.small ? 1 << 16 : 1 << 18;
+    const std::uint64_t num_requests = artifacts.small ? 5000 : 20000;
     const auto stats = parallelMap(
-        table3Workloads(), [](const WorkloadSpec &spec) {
+        table3Workloads(), [&](const WorkloadSpec &spec) {
             SyntheticConfig cfg;
             cfg.spec = spec;
-            cfg.footprintPages = 1 << 18;
-            cfg.numRequests = 20000;
+            cfg.footprintPages = footprint_pages;
+            cfg.numRequests = num_requests;
             return computeExtendedStats(generateTrace(cfg),
                                         cfg.pageSizeKB);
         });
@@ -55,6 +60,14 @@ main(int argc, char **argv)
     if (artifacts.wantJson()) {
         Json doc = Json::object();
         doc["schema"] = "aero-tab03/1";
+        Json axes = Json::array();
+        axes.push("workload");
+        doc["axes"] = std::move(axes);
+        Json spec = Json::object();
+        spec["footprint_pages"] = footprint_pages;
+        spec["num_requests"] = num_requests;
+        spec["small"] = artifacts.small;
+        doc["spec"] = std::move(spec);
         Json rows = Json::array();
         for (std::size_t i = 0; i < specs.size(); ++i) {
             const auto &s = stats[i];

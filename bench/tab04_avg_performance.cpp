@@ -20,15 +20,25 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts = bench::parseArtifactArgs(argc, argv);
+    const auto artifacts =
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
     bench::header("Table 4: average I/O performance (normalized %)");
 
-    const SweepSpec spec = SweepBuilder()
-                               .allTable3Workloads()
-                               .allSchemes()
-                               .paperPecs()
-                               .requests(defaultSimRequests())
-                               .build();
+    // --small: the regression-gate grid (three workloads, two PEC
+    // points, fixed request count so the baselines are hermetic).
+    SweepBuilder builder;
+    if (artifacts.small) {
+        builder.workloads({"prxy", "hm", "usr"})
+            .allSchemes()
+            .pecs({500.0, 2500.0})
+            .requests(2000);
+    } else {
+        builder.allTable3Workloads()
+            .allSchemes()
+            .paperPecs()
+            .requests(defaultSimRequests());
+    }
+    const SweepSpec spec = builder.build();
     std::printf("requests/run: %llu, %zu points on %d threads\n",
                 static_cast<unsigned long long>(spec.requests), spec.size(),
                 SweepRunner().threads());

@@ -1,14 +1,21 @@
 /**
  * @file
  * aero_diff: compare two experiment report files (`aero-sweep/1` /
- * `aero-devchar/1` JSON artifacts) and fail when any metric drifts
- * beyond tolerance — the CLI face of the regression gate.
+ * `aero-devchar/1` JSON artifacts, or two CSV artifacts) and fail when
+ * any metric drifts beyond tolerance — the CLI face of the regression
+ * gate.
  *
  *   aero_diff golden.json regenerated.json \
  *       [--rel-tol X] [--abs-tol X] [--ignore KEY]... [--max-rows N]
+ *   aero_diff golden.csv regenerated.csv --rel-tol X
+ *
+ * A file ending in `.csv` is parsed as a CSV artifact and lifted into
+ * report shape (integers exact, numbers toleranced, rows axis-keyed
+ * when the sweep axis columns are present); both files must then be
+ * CSV for the schemas to agree.
  *
  * Exit codes: 0 reports match, 1 reports differ (a per-metric delta
- * table is printed), 2 usage / I/O / JSON parse error.
+ * table is printed), 2 usage / I/O / JSON or CSV parse error.
  */
 
 #include <cstdio>
@@ -32,13 +39,20 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s <a.json> <b.json> [options]\n"
+        "usage: %s <a.json|a.csv> <b.json|b.csv> [options]\n"
         "  --rel-tol X    relative tolerance for floating-point metrics\n"
         "  --abs-tol X    absolute tolerance for floating-point metrics\n"
         "  --ignore KEY   skip this key everywhere (repeatable)\n"
         "  --max-rows N   print at most N delta rows (default 50, 0=all)\n"
         "exit status: 0 match, 1 differ, 2 error\n",
         argv0);
+}
+
+bool
+isCsvPath(const char *path)
+{
+    const std::string p = path;
+    return p.size() >= 4 && p.compare(p.size() - 4, 4, ".csv") == 0;
 }
 
 /** Read + parse one report, exiting with kExitError on any failure. */
@@ -55,6 +69,16 @@ loadReport(const char *path)
     if (in.bad()) {
         std::fprintf(stderr, "aero_diff: failed reading '%s'\n", path);
         std::exit(kExitError);
+    }
+    if (isCsvPath(path)) {
+        aero::Json doc;
+        std::string error;
+        if (!aero::csvToReport(content.str(), &doc, &error)) {
+            std::fprintf(stderr, "aero_diff: %s: %s\n", path,
+                         error.c_str());
+            std::exit(kExitError);
+        }
+        return doc;
     }
     aero::Json doc;
     aero::Json::ParseError err;

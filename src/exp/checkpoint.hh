@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Checkpoint/resume for sweeps: an append-only JSON-lines journal of
+ * completed SimResults, so the paper's hours-long system grids (Figs.
+ * 13-16, Tables 3-4 scale) survive crashes and restarts instead of
+ * re-running from zero.
+ *
+ * Journal format (`aero-checkpoint/1`), one JSON document per line:
+ *
+ *   {"schema":"aero-checkpoint/1","fingerprint":"<hex>","spec":{..}}
+ *   {"fingerprint":"<hex>","result":{..toJson(SimResult)..}}
+ *   ...
+ *
+ * The header pins the journal to one SweepSpec via a fingerprint over
+ * the spec's canonical JSON plus the base drive's configuration
+ * summary; every result record repeats the fingerprint so a record can
+ * never be spliced into the wrong sweep. Records are keyed by their
+ * *axis values* (workload, scheme, pec, ...), not by position, so a
+ * journal written under any thread count resumes correctly under any
+ * other.
+ *
+ * Crash tolerance: each record is one write() followed by a flush, so a
+ * torn write leaves at most one partial final line. On open, the loader
+ * parses each line with Json::parse, drops a malformed *tail record*
+ * (warning, then truncates the file back to the last good record
+ * before appending), and fails loudly on corruption anywhere else —
+ * including a file whose first line is not a journal header (never
+ * truncate a file the caller pointed us at by mistake) — and on any
+ * fingerprint mismatch, naming the spec field that differs.
+ */
+
+#ifndef AERO_EXP_CHECKPOINT_HH
+#define AERO_EXP_CHECKPOINT_HH
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "exp/sweep.hh"
+
+namespace aero
+{
+
+class SweepCheckpoint
+{
+  public:
+    /**
+     * Open (or create) the journal at @p path for @p spec. An existing
+     * journal is validated (schema, fingerprint) and its records are
+     * loaded; a journal written for a different spec is fatal with a
+     * message naming the mismatching field.
+     */
+    SweepCheckpoint(std::string path, const SweepSpec &spec);
+    ~SweepCheckpoint();
+
+    SweepCheckpoint(const SweepCheckpoint &) = delete;
+    SweepCheckpoint &operator=(const SweepCheckpoint &) = delete;
+
+    const std::string &path() const { return journalPath; }
+
+    /** Number of grid points already journaled. */
+    std::size_t cachedCount() const { return loadedCount; }
+
+    /** Was the point at expand() index @p index already journaled? */
+    bool has(std::size_t index) const;
+
+    /** The journaled result for @p index (check has() first). */
+    const SimResult &cached(std::size_t index) const;
+
+    /**
+     * Append one completed point and flush it to disk. Thread-safe: the
+     * sweep worker pool journals points in completion order, and the
+     * axis-keyed loader puts them back in spec order on resume.
+     */
+    void record(const SimResult &result);
+
+    /**
+     * Fingerprint of a spec: a hash over its canonical report JSON and
+     * the base drive's configuration summary, rendered as hex.
+     */
+    static std::string fingerprint(const SweepSpec &spec);
+
+  private:
+    void load();
+    void loadHeader(const Json &row, std::size_t lineNo);
+    void loadRecord(const Json &row, std::size_t lineNo);
+    void openForAppend(std::uint64_t keepBytes, bool writeHeader);
+    void append(const Json &row);
+
+    std::string journalPath;
+    std::string fp;           //!< fingerprint of the owning spec
+    Json specJson;            //!< canonical spec JSON (header payload)
+    SweepSpec spec;           //!< owning grid (axis-value -> index)
+    std::vector<SimResult> results;  //!< dense, expand()-indexed
+    std::vector<char> present;       //!< results[i] is journaled
+    std::size_t loadedCount = 0;
+    std::FILE *out = nullptr;
+    std::mutex writeMutex;
+};
+
+} // namespace aero
+
+#endif // AERO_EXP_CHECKPOINT_HH

@@ -1,8 +1,10 @@
 #include "exp/diff.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 
@@ -367,6 +369,168 @@ formatDelta(double v)
 }
 
 } // namespace
+
+namespace
+{
+
+/**
+ * Split one CSV document into rows of cells, honouring RFC 4180
+ * quoting: a quoted cell may contain commas, doubled quotes, and
+ * newlines. CRLF and LF line ends are both accepted; a trailing
+ * newline does not produce an empty final row. Returns false and
+ * fills @p error on a malformed document.
+ */
+bool
+parseCsv(const std::string &text,
+         std::vector<std::vector<std::string>> *outRows,
+         std::string *error)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string cell;
+    bool quoted = false;
+    bool cellStarted = false;
+    const auto endCell = [&] {
+        row.push_back(std::move(cell));
+        cell.clear();
+        cellStarted = false;
+    };
+    const auto endRow = [&] {
+        endCell();
+        rows.push_back(std::move(row));
+        row.clear();
+    };
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += c;
+            }
+            continue;
+        }
+        if (c == '"' && !cellStarted && cell.empty()) {
+            quoted = true;
+            cellStarted = true;
+        } else if (c == ',') {
+            endCell();
+            cellStarted = false;
+        } else if (c == '\n') {
+            if (!cell.empty() && cell.back() == '\r')
+                cell.pop_back();
+            endRow();
+        } else {
+            cell += c;
+            cellStarted = true;
+        }
+    }
+    if (quoted) {
+        *error = "CSV artifact ends inside a quoted cell";
+        return false;
+    }
+    if (cellStarted || !cell.empty() || !row.empty())
+        endRow();
+    *outRows = std::move(rows);
+    return true;
+}
+
+/**
+ * Type a CSV cell the way the serializers wrote it: integers exactly
+ * (so the diff's exact-integer rule applies), other numbers as double,
+ * the empty cell as null, everything else as a string.
+ */
+Json
+typedCell(const std::string &cell)
+{
+    if (cell.empty())
+        return Json{};
+    char *end = nullptr;
+    errno = 0;
+    if (cell[0] == '-') {
+        const long long v = std::strtoll(cell.c_str(), &end, 10);
+        if (end && *end == '\0' && errno != ERANGE)
+            return Json{static_cast<std::int64_t>(v)};
+    } else {
+        const unsigned long long v =
+            std::strtoull(cell.c_str(), &end, 10);
+        if (end && *end == '\0' && errno != ERANGE)
+            return Json{static_cast<std::uint64_t>(v)};
+    }
+    errno = 0;
+    const double d = std::strtod(cell.c_str(), &end);
+    if (end && *end == '\0' && errno != ERANGE)
+        return Json{d};
+    return Json{cell};
+}
+
+} // namespace
+
+bool
+csvToReport(const std::string &text, Json *out, std::string *error)
+{
+    std::vector<std::vector<std::string>> rows;
+    if (!parseCsv(text, &rows, error))
+        return false;
+    if (rows.empty()) {
+        *error = "CSV artifact is empty (no header row)";
+        return false;
+    }
+    const auto &header = rows.front();
+
+    Json doc = Json::object();
+    doc["schema"] = "aero-csv/1";
+    // When every sweep axis column is present the rows carry the full
+    // sweep identity; reuse the axis-keyed matcher so reordered rows
+    // are not differences. Otherwise rows match by position.
+    const std::vector<std::string> sweepAxes = {
+        "workload", "scheme", "pec", "suspension", "misprediction_rate",
+        "rber_requirement", "requests", "seed"};
+    const bool sweepShaped = std::all_of(
+        sweepAxes.begin(), sweepAxes.end(), [&](const std::string &axis) {
+            return std::find(header.begin(), header.end(), axis) !=
+                   header.end();
+        });
+    if (sweepShaped) {
+        Json axes = Json::array();
+        for (const auto &axis : sweepAxes)
+            axes.push(axis);
+        doc["axes"] = std::move(axes);
+    }
+
+    Json results = Json::array();
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+        if (rows[r].size() != header.size()) {
+            *error = detail::concat("CSV artifact row ", r + 1,
+                                    " has ", rows[r].size(),
+                                    " cells, header has ",
+                                    header.size());
+            return false;
+        }
+        Json row = Json::object();
+        for (std::size_t c = 0; c < header.size(); ++c)
+            row[header[c]] = typedCell(rows[r][c]);
+        results.push(std::move(row));
+    }
+    doc["results"] = std::move(results);
+    *out = std::move(doc);
+    return true;
+}
+
+Json
+csvToReport(const std::string &text)
+{
+    Json doc;
+    std::string error;
+    if (!csvToReport(text, &doc, &error))
+        AERO_FATAL(error);
+    return doc;
+}
 
 std::vector<std::string>
 reportAxes(const Json &doc)

@@ -87,6 +87,27 @@ std::vector<std::string> reportAxes(const Json &doc);
 DiffResult diffReports(const Json &a, const Json &b,
                        const DiffOptions &opts = {});
 
+/**
+ * Parse a CSV artifact (the `toCsv` / `devcharCsv` projections) into a
+ * report-shaped document — {"schema": "aero-csv/1", "axes": [..],
+ * "results": [..]} — so two CSV files diff through the same axis-keyed
+ * matcher as the JSON artifacts. The first line is the header; cells
+ * that parse fully as integers become exact integers, as numbers become
+ * doubles, empty cells become null, everything else stays a string.
+ * RFC 4180 quoting (doubled quotes, embedded commas/newlines) and CRLF
+ * line ends are understood. "axes" is the sweep axis set when every
+ * sweep axis column is present, else absent (rows match by position).
+ * Fatal on a row whose cell count disagrees with the header.
+ */
+Json csvToReport(const std::string &text);
+
+/**
+ * Non-fatal csvToReport: returns false and fills @p error on a
+ * malformed artifact (for CLI callers that must map parse failures to
+ * their own exit code rather than die).
+ */
+bool csvToReport(const std::string &text, Json *out, std::string *error);
+
 } // namespace aero
 
 #endif // AERO_EXP_DIFF_HH

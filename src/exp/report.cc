@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "erase/scheme_registry.hh"
 
 namespace aero
 {
@@ -33,6 +34,39 @@ toJson(const SimResult &result)
     row["suspensions"] = result.suspensions;
     row["write_amplification"] = result.writeAmplification;
     return row;
+}
+
+SimResult
+simResultFromJson(const Json &row)
+{
+    const auto need = [&](const char *key) -> const Json & {
+        const Json *v = row.find(key);
+        if (!v)
+            AERO_FATAL("result row is missing '", key, "'");
+        return *v;
+    };
+    SimResult r;
+    r.point.workload = need("workload").asString();
+    r.point.scheme = schemeKindFromName(need("scheme").asString());
+    r.point.pec = need("pec").asDouble();
+    r.point.suspension =
+        suspensionModeFromName(need("suspension").asString());
+    r.point.mispredictionRate = need("misprediction_rate").asDouble();
+    r.point.rberRequirement =
+        static_cast<int>(need("rber_requirement").asInt64());
+    r.point.requests = need("requests").asUint64();
+    r.point.seed = need("seed").asUint64();
+    r.avgReadUs = need("avg_read_us").asDouble();
+    r.avgWriteUs = need("avg_write_us").asDouble();
+    r.iops = need("iops").asDouble();
+    r.p999Us = need("p999_us").asDouble();
+    r.p9999Us = need("p9999_us").asDouble();
+    r.p999999Us = need("p999999_us").asDouble();
+    r.erases = need("erases").asUint64();
+    r.avgEraseMs = need("avg_erase_ms").asDouble();
+    r.suspensions = need("suspensions").asUint64();
+    r.writeAmplification = need("write_amplification").asDouble();
+    return r;
 }
 
 Json

@@ -26,6 +26,15 @@ namespace aero
 /** One result row as a flat JSON object with stable keys. */
 Json toJson(const SimResult &result);
 
+/**
+ * Inverse of toJson(SimResult): rebuild a result from a report row.
+ * Exact for every field — doubles round-trip bit-for-bit through the
+ * shortest-round-trip serializer, so a reloaded result re-serializes
+ * byte-identically (the property the sweep checkpoint relies on).
+ * Fatal on a row missing a field or naming an unknown scheme/mode.
+ */
+SimResult simResultFromJson(const Json &row);
+
 /** The declared grid (axes, request count, drive summary fields). */
 Json toJson(const SweepSpec &spec);
 

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "erase/scheme_registry.hh"
+#include "exp/checkpoint.hh"
 #include "workload/presets.hh"
 
 namespace aero
@@ -293,6 +294,40 @@ std::vector<SimResult>
 SweepRunner::run(const SweepSpec &spec, const Progress &progress) const
 {
     return run(spec.expand(), spec.base, progress);
+}
+
+std::vector<SimResult>
+SweepRunner::run(const SweepSpec &spec, SweepCheckpoint &checkpoint,
+                 const Progress &progress) const
+{
+    const auto points = spec.expand();
+    std::vector<SimResult> results(points.size());
+    std::vector<std::size_t> pendingIdx;
+    std::vector<SimPoint> pendingPoints;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (checkpoint.has(i)) {
+            results[i] = checkpoint.cached(i);
+        } else {
+            pendingIdx.push_back(i);
+            pendingPoints.push_back(points[i]);
+        }
+    }
+    if (pendingPoints.empty())
+        return results;
+    // Journal before reporting progress: once a point has been
+    // announced, a crash must not lose it. The wrapper is always
+    // non-empty so every completed point is journaled even when the
+    // caller asked for no progress.
+    const Progress journaling = [&](std::size_t done, std::size_t total,
+                                    const SimResult &latest) {
+        checkpoint.record(latest);
+        if (progress)
+            progress(done, total, latest);
+    };
+    auto fresh = run(pendingPoints, spec.base, journaling);
+    for (std::size_t k = 0; k < pendingIdx.size(); ++k)
+        results[pendingIdx[k]] = std::move(fresh[k]);
+    return results;
 }
 
 std::vector<SimResult>

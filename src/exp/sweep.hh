@@ -29,6 +29,8 @@
 namespace aero
 {
 
+class SweepCheckpoint;
+
 struct SweepSpec
 {
     /** @name Grid axes (every combination is one SimPoint) */
@@ -141,6 +143,18 @@ class SweepRunner
 
     /** Expand and run a spec; results in expand() order. */
     std::vector<SimResult> run(const SweepSpec &spec,
+                               const Progress &progress = {}) const;
+
+    /**
+     * Checkpointed run: points already journaled in @p checkpoint are
+     * spliced back from the journal (never re-simulated) and every
+     * newly completed point is journaled before the run moves on. The
+     * returned vector is in expand() order and bit-identical to an
+     * uninterrupted run() of the same spec at any thread count; the
+     * progress callback sees only the points actually simulated.
+     */
+    std::vector<SimResult> run(const SweepSpec &spec,
+                               SweepCheckpoint &checkpoint,
                                const Progress &progress = {}) const;
 
     /** Run explicit points against a base drive; results in input order. */

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the sweep checkpoint/resume subsystem: crash recovery from
+ * torn journal tails, bit-identical resumed artifacts at 1 and 4
+ * threads (in both directions across thread counts), loud fingerprint
+ * mismatches naming the offending spec field, and the exhaustive
+ * SweepSpec::index()-vs-expand() cross-check the axis-keyed journal
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/checkpoint.hh"
+#include "exp/report.hh"
+#include "exp/sweep.hh"
+#include "workload/presets.hh"
+
+namespace aero
+{
+namespace
+{
+
+/** The tiny 2x2 grid every resume test replays (seconds, not hours). */
+SweepSpec
+tinySpec()
+{
+    return SweepBuilder()
+        .workloads({"prxy", "hm"})
+        .schemes({SchemeKind::Baseline, SchemeKind::Aero})
+        .pec(2500.0)
+        .requests(1500)
+        .baseConfig(SsdConfig::tiny())
+        .build();
+}
+
+std::string
+tempJournal(const std::string &name)
+{
+    const auto path =
+        std::filesystem::path(::testing::TempDir()) / name;
+    std::filesystem::remove(path);
+    return path.string();
+}
+
+/** The canonical artifact body two runs are compared by. */
+std::string
+artifactOf(const SweepSpec &spec, const std::vector<SimResult> &results)
+{
+    return sweepReport(spec, results).dump(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+}
+
+/** Chop the last @p bytes off a file — a torn final write. */
+void
+tearTail(const std::string &path, std::uintmax_t bytes)
+{
+    const auto size = std::filesystem::file_size(path);
+    ASSERT_GT(size, bytes);
+    std::filesystem::resize_file(path, size - bytes);
+}
+
+/** Keep only the first @p n lines — a run killed between records. */
+void
+keepLines(const std::string &path, std::size_t n)
+{
+    const std::string text = readFile(path);
+    std::size_t pos = 0;
+    for (std::size_t line = 0; line < n; ++line) {
+        pos = text.find('\n', pos);
+        ASSERT_NE(pos, std::string::npos);
+        pos += 1;
+    }
+    writeFile(path, text.substr(0, pos));
+}
+
+// --------------------------------------------------------------------------
+// Crash recovery
+// --------------------------------------------------------------------------
+
+TEST(CheckpointResume, TornTailResumesBitIdentical)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string reference =
+        artifactOf(spec, SweepRunner(1).run(spec));
+
+    for (const int resumeThreads : {1, 4}) {
+        const std::string path = tempJournal("torn.jsonl");
+        {
+            SweepCheckpoint ckpt(path, spec);
+            SweepRunner(1).run(spec, ckpt);
+        }
+        // Tear the journal mid-record, as a crash during the final
+        // write would: the last record loses its tail.
+        tearTail(path, 41);
+        SweepCheckpoint resumed(path, spec);
+        EXPECT_EQ(resumed.cachedCount(), spec.size() - 1);
+        const auto results = SweepRunner(resumeThreads).run(spec, resumed);
+        EXPECT_EQ(artifactOf(spec, results), reference)
+            << "resume at " << resumeThreads << " threads drifted";
+    }
+}
+
+TEST(CheckpointResume, FullyJournaledRunSimulatesNothing)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string path = tempJournal("full.jsonl");
+    const std::string reference =
+        artifactOf(spec, SweepRunner(1).run(spec));
+    {
+        SweepCheckpoint ckpt(path, spec);
+        SweepRunner(1).run(spec, ckpt);
+    }
+    SweepCheckpoint reopened(path, spec);
+    EXPECT_EQ(reopened.cachedCount(), spec.size());
+    std::size_t simulated = 0;
+    const auto results = SweepRunner(4).run(
+        spec, reopened,
+        [&](std::size_t, std::size_t, const SimResult &) {
+            simulated += 1;
+        });
+    EXPECT_EQ(simulated, 0u);
+    EXPECT_EQ(artifactOf(spec, results), reference);
+}
+
+TEST(CheckpointResume, ResumeAfterTruncationIsIdempotent)
+{
+    // Crash, resume, crash again, resume again: the journal must stay
+    // parseable and the final artifact must still match the reference.
+    const SweepSpec spec = tinySpec();
+    const std::string path = tempJournal("twice.jsonl");
+    const std::string reference =
+        artifactOf(spec, SweepRunner(1).run(spec));
+    {
+        SweepCheckpoint ckpt(path, spec);
+        SweepRunner(1).run(spec, ckpt);
+    }
+    tearTail(path, 17);
+    {
+        SweepCheckpoint resumed(path, spec);
+        SweepRunner(1).run(spec, resumed);
+    }
+    tearTail(path, 23);
+    SweepCheckpoint again(path, spec);
+    const auto results = SweepRunner(1).run(spec, again);
+    EXPECT_EQ(artifactOf(spec, results), reference);
+}
+
+// --------------------------------------------------------------------------
+// Thread-count cross-resume
+// --------------------------------------------------------------------------
+
+TEST(CheckpointResume, CrossesThreadCountsInBothDirections)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string reference =
+        artifactOf(spec, SweepRunner(1).run(spec));
+
+    // A journal written under AERO_SWEEP_THREADS=4 resumes under =1,
+    // and vice versa; both reproduce the uncheckpointed artifact.
+    const std::pair<const char *, const char *> directions[] = {
+        {"4", "1"}, {"1", "4"}};
+    for (const auto &[writer, resumer] : directions) {
+        const std::string path = tempJournal("cross.jsonl");
+        setenv("AERO_SWEEP_THREADS", writer, 1);
+        {
+            SweepCheckpoint ckpt(path, spec);
+            SweepRunner().run(spec, ckpt);
+        }
+        // Kill the run after two completed records (a 4-thread writer
+        // journals in completion order, so these need not be the first
+        // two points in spec order).
+        keepLines(path, 3);
+        setenv("AERO_SWEEP_THREADS", resumer, 1);
+        SweepCheckpoint resumed(path, spec);
+        EXPECT_EQ(resumed.cachedCount(), 2u);
+        const auto results = SweepRunner().run(spec, resumed);
+        unsetenv("AERO_SWEEP_THREADS");
+        EXPECT_EQ(artifactOf(spec, results), reference)
+            << "journal written at " << writer
+            << " threads, resumed at " << resumer;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Fingerprint mismatches
+// --------------------------------------------------------------------------
+
+TEST(CheckpointFingerprint, ChangedRequestsDiesNamingRequests)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string path = tempJournal("mismatch_requests.jsonl");
+    {
+        SweepCheckpoint ckpt(path, spec);
+        SweepRunner(1).run(spec, ckpt);
+    }
+    SweepSpec changed = spec;
+    changed.requests = 2000;
+    EXPECT_DEATH(SweepCheckpoint(path, changed),
+                 "different sweep spec.*requests");
+}
+
+TEST(CheckpointFingerprint, ChangedAxisDiesNamingAxis)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string path = tempJournal("mismatch_axis.jsonl");
+    {
+        SweepCheckpoint ckpt(path, spec);  // header only, no results
+    }
+    SweepSpec moreWorkloads = spec;
+    moreWorkloads.workloads.push_back("usr");
+    EXPECT_DEATH(SweepCheckpoint(path, moreWorkloads),
+                 "different sweep spec.*workloads");
+
+    SweepSpec otherSchemes = spec;
+    otherSchemes.schemes = {SchemeKind::Baseline, SchemeKind::Dpes};
+    EXPECT_DEATH(SweepCheckpoint(path, otherSchemes),
+                 "different sweep spec.*schemes");
+
+    SweepSpec otherSeeds = spec;
+    otherSeeds.seeds = {11};
+    EXPECT_DEATH(SweepCheckpoint(path, otherSeeds),
+                 "different sweep spec.*seeds");
+}
+
+TEST(CheckpointFingerprint, WrongSchemaDies)
+{
+    const std::string path = tempJournal("not_a_journal.jsonl");
+    writeFile(path, "{\"schema\":\"aero-sweep/1\",\"results\":[]}\n");
+    EXPECT_DEATH(SweepCheckpoint(path, tinySpec()),
+                 "not an aero-checkpoint/1 journal");
+}
+
+TEST(CheckpointFingerprint, NonJournalFileIsNeverTruncated)
+{
+    // Torn-tail tolerance must not extend to the header line: pointing
+    // --checkpoint at some precious non-journal file has to fail
+    // loudly, not truncate it to zero and write a header over it.
+    const std::string path = tempJournal("precious.txt");
+    const std::string contents = "my precious data, not a checkpoint";
+    writeFile(path, contents);
+    EXPECT_DEATH(SweepCheckpoint(path, tinySpec()),
+                 "not a sweep journal");
+    EXPECT_EQ(readFile(path), contents);
+}
+
+TEST(CheckpointFingerprint, CorruptMidJournalDies)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string path = tempJournal("corrupt.jsonl");
+    {
+        SweepCheckpoint ckpt(path, spec);
+        SweepRunner(1).run(spec, ckpt);
+    }
+    // Damage a record in the middle: tolerance is for torn *tails*
+    // only, anything else must fail loudly.
+    std::string text = readFile(path);
+    const std::size_t mid = text.find("\n{") + 1;
+    text[mid] = '#';
+    writeFile(path, text);
+    EXPECT_DEATH(SweepCheckpoint(path, spec), "corrupt");
+}
+
+TEST(CheckpointFingerprint, ForeignRecordFingerprintDies)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string path = tempJournal("foreign.jsonl");
+    {
+        SweepCheckpoint ckpt(path, spec);
+        SweepRunner(1).run(spec, ckpt);
+    }
+    // Splice a record stamped with another sweep's fingerprint.
+    std::string text = readFile(path);
+    const std::size_t firstRecord = text.find("\n{") + 1;
+    std::string forged = text.substr(firstRecord);
+    forged = forged.substr(0, forged.find('\n') + 1);
+    const std::size_t fpAt = forged.find("\"fingerprint\":\"") +
+                             std::string("\"fingerprint\":\"").size();
+    forged[fpAt] = forged[fpAt] == '0' ? '1' : '0';
+    writeFile(path, text + forged);
+    EXPECT_DEATH(SweepCheckpoint(path, spec),
+                 "different sweep");
+}
+
+// --------------------------------------------------------------------------
+// SweepSpec::index() vs expand() — the invariant axis-keyed resume
+// (and every bench's printed table) depends on.
+// --------------------------------------------------------------------------
+
+TEST(SweepSpecIndex, AgreesWithExpandOverRandomizedGrids)
+{
+    std::mt19937 rng(20240731);
+    const auto &table3 = table3Workloads();
+    const std::vector<SchemeKind> schemePool = allSchemes();
+    const std::vector<SuspensionMode> suspPool = {
+        SuspensionMode::None, SuspensionMode::MidSegment};
+
+    for (int trial = 0; trial < 25; ++trial) {
+        // A distinct prefix of each axis pool, randomized lengths.
+        const auto len = [&](std::size_t max) {
+            return 1 + rng() % max;
+        };
+        SweepSpec spec;
+        spec.workloads.clear();
+        for (std::size_t i = 0; i < len(4); ++i)
+            spec.workloads.push_back(table3[i].name);
+        spec.schemes.assign(schemePool.begin(),
+                            schemePool.begin() +
+                                static_cast<long>(len(schemePool.size())));
+        spec.pecs.clear();
+        for (std::size_t i = 0; i < len(3); ++i)
+            spec.pecs.push_back(500.0 + 1000.0 * static_cast<double>(i));
+        spec.suspensions.assign(
+            suspPool.begin(),
+            suspPool.begin() + static_cast<long>(len(2)));
+        spec.mispredictionRates.clear();
+        for (std::size_t i = 0; i < len(3); ++i)
+            spec.mispredictionRates.push_back(0.05 *
+                                              static_cast<double>(i));
+        spec.rberRequirements.clear();
+        for (std::size_t i = 0; i < len(3); ++i)
+            spec.rberRequirements.push_back(63 - static_cast<int>(i));
+        spec.seeds.clear();
+        for (std::size_t i = 0; i < len(3); ++i)
+            spec.seeds.push_back(7 + 1000 * i);
+
+        const auto points = spec.expand();
+        ASSERT_EQ(points.size(), spec.size());
+        // Decompose every flat position into per-axis indices with an
+        // independent mixed-radix walk (seed varies fastest), then
+        // require index() to invert it and expand() to have put the
+        // matching axis values there.
+        const std::size_t sizes[7] = {
+            spec.pecs.size(),          spec.suspensions.size(),
+            spec.workloads.size(),     spec.schemes.size(),
+            spec.mispredictionRates.size(),
+            spec.rberRequirements.size(), spec.seeds.size()};
+        for (std::size_t flat = 0; flat < points.size(); ++flat) {
+            std::size_t ix[7];
+            std::size_t rem = flat;
+            for (int axis = 6; axis >= 0; --axis) {
+                ix[axis] = rem % sizes[axis];
+                rem /= sizes[axis];
+            }
+            ASSERT_EQ(spec.index(ix[0], ix[1], ix[2], ix[3], ix[4],
+                                 ix[5], ix[6]),
+                      flat)
+                << "trial " << trial;
+            const SimPoint &pt = points[flat];
+            ASSERT_EQ(pt.pec, spec.pecs[ix[0]]);
+            ASSERT_EQ(pt.suspension, spec.suspensions[ix[1]]);
+            ASSERT_EQ(pt.workload, spec.workloads[ix[2]]);
+            ASSERT_EQ(pt.scheme, spec.schemes[ix[3]]);
+            ASSERT_EQ(pt.mispredictionRate,
+                      spec.mispredictionRates[ix[4]]);
+            ASSERT_EQ(pt.rberRequirement,
+                      spec.rberRequirements[ix[5]]);
+            ASSERT_EQ(pt.seed, spec.seeds[ix[6]]);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Round-trip plumbing
+// --------------------------------------------------------------------------
+
+TEST(SimResultJson, RoundTripsExactly)
+{
+    SimResult r;
+    r.point.workload = "prn";
+    r.point.scheme = SchemeKind::Dpes;
+    r.point.pec = 2500.0;
+    r.point.suspension = SuspensionMode::None;
+    r.point.mispredictionRate = 0.05;
+    r.point.rberRequirement = 31;
+    r.point.requests = 123456789;
+    r.point.seed = 18446744073709551615ull;  // uint64 max survives
+    r.avgReadUs = 101.375;
+    r.avgWriteUs = 0.1;  // not exactly representable: dump/parse must
+                         // still round-trip it bit-for-bit
+    r.iops = 1.0 / 3.0;
+    r.p999Us = 1e-300;
+    r.p9999Us = 4.9e6;
+    r.p999999Us = 123.456;
+    r.erases = 42;
+    r.avgEraseMs = 3.5;
+    r.suspensions = 7;
+    r.writeAmplification = 1.0000000000000002;
+
+    const Json row = toJson(r);
+    const Json reparsed = Json::parseOrDie(row.dump());
+    const SimResult back = simResultFromJson(reparsed);
+    EXPECT_EQ(toJson(back).dump(), row.dump());
+    EXPECT_EQ(back.point.seed, r.point.seed);
+    EXPECT_EQ(back.avgWriteUs, r.avgWriteUs);
+    EXPECT_EQ(back.iops, r.iops);
+    EXPECT_EQ(back.p999Us, r.p999Us);
+}
+
+TEST(SimResultJson, MissingFieldDies)
+{
+    SimResult r;
+    Json row = toJson(r);
+    Json pruned = Json::object();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        const auto &[key, value] = row.member(i);
+        if (key != "iops")
+            pruned[key] = value;
+    }
+    EXPECT_DEATH(simResultFromJson(pruned), "missing 'iops'");
+}
+
+} // namespace
+} // namespace aero

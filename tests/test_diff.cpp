@@ -307,6 +307,131 @@ TEST(DiffReports, NonArrayResultsIsADelta)
     EXPECT_TRUE(diffReports(c, c).match);
 }
 
+// --------------------------------------------------------------------------
+// CSV artifacts through the same matcher
+// --------------------------------------------------------------------------
+
+/** A two-row sweep-shaped CSV, as toCsv() writes it. */
+std::string
+sweepCsv()
+{
+    return "workload,scheme,pec,suspension,misprediction_rate,"
+           "rber_requirement,requests,seed,iops,erases\n"
+           "prxy,Baseline,500,mid-segment,0,63,1000,7,5000.25,11\n"
+           "prxy,AERO,500,mid-segment,0,63,1000,7,6000.5,9\n";
+}
+
+TEST(CsvReports, CellsAreTypedLikeTheSerializers)
+{
+    const Json report = csvToReport(sweepCsv());
+    EXPECT_EQ(report.find("schema")->asString(), "aero-csv/1");
+    EXPECT_EQ(reportAxes(report).size(), 8u);
+    const Json &row = report.find("results")->at(0);
+    EXPECT_TRUE(row.find("workload")->isString());
+    EXPECT_TRUE(row.find("pec")->isIntegral());      // "500"
+    EXPECT_TRUE(row.find("erases")->isIntegral());   // exact compare
+    EXPECT_FALSE(row.find("iops")->isIntegral());    // "5000.25"
+    EXPECT_TRUE(row.find("iops")->isNumeric());
+    EXPECT_EQ(row.find("seed")->asUint64(), 7u);
+}
+
+TEST(CsvReports, IdenticalAndReorderedCsvsMatch)
+{
+    const Json a = csvToReport(sweepCsv());
+    EXPECT_TRUE(diffReports(a, a).match);
+    // Sweep-shaped CSVs are axis-keyed: a row reorder is not a diff.
+    const std::string reordered =
+        "workload,scheme,pec,suspension,misprediction_rate,"
+        "rber_requirement,requests,seed,iops,erases\n"
+        "prxy,AERO,500,mid-segment,0,63,1000,7,6000.5,9\n"
+        "prxy,Baseline,500,mid-segment,0,63,1000,7,5000.25,11\n";
+    EXPECT_TRUE(diffReports(a, csvToReport(reordered)).match);
+}
+
+TEST(CsvReports, FloatToleranceEdgesApply)
+{
+    const Json a = csvToReport(sweepCsv());
+    std::string driftedText = sweepCsv();
+    // iops 6000.5 -> 7500.625 (x1.25): abs delta 1500.125, rel delta
+    // exactly 0.2 — both ends exactly representable.
+    driftedText.replace(driftedText.find("6000.5"), 6, "7500.625");
+    const Json b = csvToReport(driftedText);
+    DiffOptions opts;
+    EXPECT_FALSE(diffReports(a, b, opts).match);
+    // Exactly at the absolute tolerance: passes; a hair under: fails.
+    opts.absTol = 1500.125;
+    EXPECT_TRUE(diffReports(a, b, opts).match);
+    opts.absTol = 1500.0;
+    EXPECT_FALSE(diffReports(a, b, opts).match);
+    // Exactly at the relative tolerance: passes; under: fails.
+    opts.absTol = 0.0;
+    opts.relTol = 0.2;
+    EXPECT_TRUE(diffReports(a, b, opts).match);
+    opts.relTol = 0.1999;
+    const auto result = diffReports(a, b, opts);
+    EXPECT_FALSE(result.match);
+    ASSERT_EQ(result.deltas.size(), 1u);
+    EXPECT_EQ(result.deltas[0].metric, "iops");
+    EXPECT_DOUBLE_EQ(result.deltas[0].absDelta, 1500.125);
+    EXPECT_DOUBLE_EQ(result.deltas[0].relDelta, 0.2);
+}
+
+TEST(CsvReports, IntegerCellsCompareExactlyDespiteTolerances)
+{
+    const Json a = csvToReport(sweepCsv());
+    std::string driftedText = sweepCsv();
+    driftedText.replace(driftedText.find(",11\n"), 4, ",12\n");
+    const Json b = csvToReport(driftedText);
+    DiffOptions loose;
+    loose.absTol = 100.0;
+    loose.relTol = 0.5;
+    const auto result = diffReports(a, b, loose);
+    EXPECT_FALSE(result.match);
+    ASSERT_EQ(result.deltas.size(), 1u);
+    EXPECT_EQ(result.deltas[0].metric, "erases");
+}
+
+TEST(CsvReports, QuotedCellsAndCrlfParse)
+{
+    const std::string quoted =
+        "name,note,x\r\n"
+        "\"a,b\",\"says \"\"hi\"\"\",1.5\r\n"
+        "plain,,2\r\n";
+    const Json report = csvToReport(quoted);
+    const Json &rows = *report.find("results");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows.at(0).find("name")->asString(), "a,b");
+    EXPECT_EQ(rows.at(0).find("note")->asString(), "says \"hi\"");
+    EXPECT_TRUE(rows.at(1).find("note")->isNull());
+    // No sweep axis columns: rows match by position.
+    EXPECT_TRUE(reportAxes(report).empty());
+    EXPECT_TRUE(diffReports(report, report).match);
+}
+
+TEST(CsvReports, MalformedCsvDies)
+{
+    EXPECT_DEATH(csvToReport(""), "no header");
+    EXPECT_DEATH(csvToReport("a,b\n1\n"), "has 1 cells");
+    EXPECT_DEATH(csvToReport("a,b\n\"unterminated,1\n"),
+                 "quoted cell");
+}
+
+TEST(CsvReports, NonFatalParserReportsErrors)
+{
+    // The variant aero_diff uses to map parse failures to exit code 2
+    // (distinct from exit 1, "reports differ").
+    Json doc;
+    std::string error;
+    EXPECT_FALSE(csvToReport("a,b\n1\n", &doc, &error));
+    EXPECT_NE(error.find("has 1 cells"), std::string::npos);
+    EXPECT_FALSE(csvToReport("", &doc, &error));
+    EXPECT_NE(error.find("no header"), std::string::npos);
+    error.clear();
+    EXPECT_TRUE(csvToReport("a,b\n1,2\n", &doc, &error));
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(doc.find("results")->size(), 1u);
+}
+
 TEST(DiffReports, IgnoredAxisKeyDropsOutOfRowIdentity)
 {
     const Json a = doc(R"({"schema": "s", "axes": ["i", "seed"],
