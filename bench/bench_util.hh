@@ -13,10 +13,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "exp/campaign.hh"
 #include "exp/report.hh"
 
 namespace aero::bench
@@ -88,6 +90,35 @@ struct DevcharReport
     }
 };
 
+/**
+ * The journal-config base every farm-driven campaign shares. Benches
+ * append their remaining knobs (PEC points, tSE slots, specs, ...) —
+ * every knob that influences the numbers must land in the config, so
+ * a resumed run can never splice stale records.
+ */
+inline Json
+farmJournalConfig(int num_chips, int blocks_per_chip,
+                  std::uint64_t seed, bool small)
+{
+    Json config = Json::object();
+    config["num_chips"] = num_chips;
+    config["blocks_per_chip"] = blocks_per_chip;
+    config["seed"] = seed;
+    config["small"] = small;
+    return config;
+}
+
+/** A JSON array of scalar values (journal-config helper). */
+template <typename T>
+inline Json
+jsonArray(const std::vector<T> &values)
+{
+    Json arr = Json::array();
+    for (const T &v : values)
+        arr.push(v);
+    return arr;
+}
+
 /** One scalar cell of the CSV projection (RFC 4180 quoting). */
 inline std::string
 csvCell(const Json *v)
@@ -151,6 +182,14 @@ struct Artifacts
     std::string jsonPath;
     std::string csvPath;
     /**
+     * `--checkpoint <path>`: journal every completed campaign task to
+     * this file and, on a rerun, resume from it instead of restarting
+     * from zero (see exp/campaign.hh). All fourteen gated benches
+     * accept it; the resumed artifacts are byte-identical to an
+     * uninterrupted run at any thread count.
+     */
+    std::string checkpointPath;
+    /**
      * `--small`: run a reduced configuration sized for the golden-file
      * regression gate (seconds, stable numbers, compact artifacts)
      * instead of the paper-scale study. Only the devchar benches accept
@@ -160,6 +199,29 @@ struct Artifacts
 
     bool wantJson() const { return !jsonPath.empty(); }
     bool wantCsv() const { return !csvPath.empty(); }
+    bool wantCheckpoint() const { return !checkpointPath.empty(); }
+
+    /**
+     * Open this bench's campaign journal (null without `--checkpoint`).
+     * @p bench pins the journal to this bench (resuming another
+     * bench's journal fails loudly) and @p config fingerprints the
+     * campaign configuration — every knob that influences the numbers
+     * must be in it, so a resumed run can never splice stale records.
+     */
+    std::unique_ptr<CampaignJournal>
+    openJournal(const std::string &bench, Json config) const
+    {
+        if (!wantCheckpoint())
+            return nullptr;
+        auto journal = std::make_unique<CampaignJournal>(
+            checkpointPath, bench, std::move(config));
+        if (journal->cachedCount() > 0) {
+            std::printf("checkpoint: resuming %zu journaled task(s) "
+                        "from %s\n",
+                        journal->cachedCount(), checkpointPath.c_str());
+        }
+        return journal;
+    }
 
     /** Write the standard sweep artifacts (whichever were requested). */
     void
@@ -192,11 +254,14 @@ struct Artifacts
 };
 
 /**
- * Parse `--json <path>` / `--csv <path>` (and `--small` when
- * @p allow_small); fatal on anything else.
+ * Parse `--json <path>` / `--csv <path>` (plus `--small` when
+ * @p allow_small and `--checkpoint <path>` when @p allow_checkpoint);
+ * fatal on anything else, so a bench that has not wired a journal
+ * rejects `--checkpoint` instead of silently ignoring it.
  */
 inline Artifacts
-parseArtifactArgs(int argc, char **argv, bool allow_small = false)
+parseArtifactArgs(int argc, char **argv, bool allow_small = false,
+                  bool allow_checkpoint = false)
 {
     Artifacts out;
     for (int i = 1; i < argc; ++i) {
@@ -210,10 +275,14 @@ parseArtifactArgs(int argc, char **argv, bool allow_small = false)
             dest = &out.jsonPath;
         else if (std::strcmp(arg, "--csv") == 0)
             dest = &out.csvPath;
+        else if (allow_checkpoint &&
+                 std::strcmp(arg, "--checkpoint") == 0)
+            dest = &out.checkpointPath;
         else
             AERO_FATAL("unknown argument '", arg,
                        "' (usage: ", argv[0],
                        " [--json <path>] [--csv <path>]",
+                       allow_checkpoint ? " [--checkpoint <path>]" : "",
                        allow_small ? " [--small]" : "", ")");
         if (i + 1 >= argc)
             AERO_FATAL(arg, " needs a file path");

@@ -22,14 +22,20 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 4: erase latency variation vs P/E cycles");
     FarmConfig fc;
     fc.numChips = artifacts.small ? 6 : 24;
     fc.blocksPerChip = artifacts.small ? 10 : 30;
     const std::vector<double> pecs = {0,    1000, 2000, 3000,
                                       3500, 4000, 5000};
-    const auto data = runFig4Experiment(fc, pecs);
+    Json journal_cfg = bench::farmJournalConfig(
+        fc.numChips, fc.blocksPerChip, fc.seed, artifacts.small);
+    journal_cfg["pecs"] = bench::jsonArray(pecs);
+    const auto journal = artifacts.openJournal("fig04_erase_latency_cdf",
+                                               std::move(journal_cfg));
+    const auto data = runFig4Experiment(fc, pecs, {journal.get()});
     std::printf("%zu blocks per curve (paper: 19200 across 160 chips)\n",
                 static_cast<std::size_t>(data.blocksPerCurve));
     bench::rule();

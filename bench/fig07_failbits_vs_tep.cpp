@@ -17,13 +17,19 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 7: fail-bit count vs accumulated tEP");
     FarmConfig fc;
     fc.numChips = artifacts.small ? 8 : 24;
     fc.blocksPerChip = artifacts.small ? 10 : 24;
     const std::vector<double> pecs = {1500, 2500, 3500, 4500};
-    const auto data = runFig7Experiment(fc, pecs);
+    Json journal_cfg = bench::farmJournalConfig(
+        fc.numChips, fc.blocksPerChip, fc.seed, artifacts.small);
+    journal_cfg["pecs"] = bench::jsonArray(pecs);
+    const auto journal = artifacts.openJournal("fig07_failbits_vs_tep",
+                                               std::move(journal_cfg));
+    const auto data = runFig7Experiment(fc, pecs, {journal.get()});
     const auto p = ChipParams::tlc3d();
     std::printf("max F(N_ISPE) by remaining erase time "
                 "(columns: slots of 0.5 ms still needed)\n");

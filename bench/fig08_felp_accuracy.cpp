@@ -18,14 +18,20 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 8: mtEP(N_ISPE) probability by fail-bit range");
     FarmConfig fc;
     fc.numChips = artifacts.small ? 8 : 28;
     fc.blocksPerChip = artifacts.small ? 10 : 24;
     const std::vector<double> pecs = {2000, 2500, 3000, 3500,
                                       4000, 4500, 5200};
-    const auto data = runFig8Experiment(fc, pecs);
+    Json journal_cfg = bench::farmJournalConfig(
+        fc.numChips, fc.blocksPerChip, fc.seed, artifacts.small);
+    journal_cfg["pecs"] = bench::jsonArray(pecs);
+    const auto journal = artifacts.openJournal("fig08_felp_accuracy",
+                                               std::move(journal_cfg));
+    const auto data = runFig8Experiment(fc, pecs, {journal.get()});
     for (const auto &row : data.rows) {
         std::printf("\nN_ISPE = %d (%d samples)\n", row.nIspe,
                     row.samples);

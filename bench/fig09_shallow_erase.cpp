@@ -19,14 +19,22 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 9: fail-bit distribution under varying tSE");
     FarmConfig fc;
     fc.numChips = artifacts.small ? 6 : 24;
     fc.blocksPerChip = artifacts.small ? 10 : 30;
     const std::vector<int> tse_slots = {1, 2, 3, 4};
     const std::vector<double> pecs = {100, 500};
-    const auto data = runFig9Experiment(fc, tse_slots, pecs);
+    Json journal_cfg = bench::farmJournalConfig(
+        fc.numChips, fc.blocksPerChip, fc.seed, artifacts.small);
+    journal_cfg["tse_slots"] = bench::jsonArray(tse_slots);
+    journal_cfg["pecs"] = bench::jsonArray(pecs);
+    const auto journal = artifacts.openJournal("fig09_shallow_erase",
+                                               std::move(journal_cfg));
+    const auto data =
+        runFig9Experiment(fc, tse_slots, pecs, {journal.get()});
     bench::rule();
     std::printf("%6s | %5s | F(0) range occupancy [%%]%18s| %8s | %8s\n",
                 "PEC", "tSE", "", "benefit", "tBERS");

@@ -19,20 +19,31 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 11: erase characteristics of other chip types");
     const int farm_chips = artifacts.small ? 6 : 16;
     const int farm_blocks = artifacts.small ? 10 : 24;
     const std::uint64_t farm_seed = 0xfeed;
     const std::vector<ChipType> types = {ChipType::Tlc2d,
                                          ChipType::Mlc3d48L};
+    Json journal_cfg = bench::farmJournalConfig(
+        farm_chips, farm_blocks, farm_seed, artifacts.small);
+    Json journal_types = Json::array();
+    for (const ChipType type : types)
+        journal_types.push(chipTypeName(type));
+    journal_cfg["chip_types"] = std::move(journal_types);
+    const auto journal = artifacts.openJournal("fig11_other_chips",
+                                               std::move(journal_cfg));
+    const CampaignScope scope{journal.get()};
     const auto results = parallelMap(types, [&](ChipType type) {
         FarmConfig fc;
         fc.type = type;
         fc.numChips = farm_chips;
         fc.blocksPerChip = farm_blocks;
         fc.seed = farm_seed;
-        return runFig11Experiment(fc);
+        return runFig11Experiment(
+            fc, scope.with("chip_type", chipTypeName(type)));
     });
 
     bench::DevcharReport report("fig11_other_chips",

@@ -20,14 +20,23 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 13: SSD lifetime and reliability comparison");
     LifetimeConfig cfg;
     cfg.farm.numChips = artifacts.small ? 6 : 16;
     cfg.farm.blocksPerChip = artifacts.small ? 10 : 24;
     cfg.checkpointEvery = 250;
+    Json journal_cfg = bench::farmJournalConfig(
+        cfg.farm.numChips, cfg.farm.blocksPerChip, cfg.farm.seed,
+        artifacts.small);
+    journal_cfg["checkpoint_every"] = cfg.checkpointEvery;
+    journal_cfg["max_pec"] = cfg.maxPec;
+    const auto journal = artifacts.openJournal("fig13_lifetime",
+                                               std::move(journal_cfg));
     const LifetimeTester tester(cfg);
-    const auto results = tester.runAll();  // parallel across schemes
+    // Parallel across schemes; one journal record per finished scheme.
+    const auto results = tester.runAll({journal.get()});
 
     const double base_life = results.front().lifetimePec;
     bench::rule();

@@ -21,6 +21,7 @@
 #include <cmath>
 
 #include "bench_util.hh"
+#include "exp/checkpoint.hh"
 #include "exp/sweep.hh"
 
 using namespace aero;
@@ -29,7 +30,8 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 14: read tail latency (normalized to Baseline)");
 
     // --small: the regression-gate grid — three workloads, two PEC
@@ -54,7 +56,15 @@ main(int argc, char **argv)
                 "%zu points on %d threads (env AERO_SWEEP_THREADS)\n",
                 static_cast<unsigned long long>(spec.requests), spec.size(),
                 SweepRunner().threads());
-    const auto results = SweepRunner().run(spec);
+    const auto journal = artifacts.openJournal(
+        "fig14_tail_latency", SweepCheckpoint::configOf(spec));
+    std::vector<SimResult> results;
+    if (journal) {
+        SweepCheckpoint checkpoint(*journal, spec);
+        results = SweepRunner().run(spec, checkpoint);
+    } else {
+        results = SweepRunner().run(spec);
+    }
     artifacts.writeSweep(spec, results);
 
     // Geometric mean over seeds of one result metric.

@@ -12,6 +12,7 @@
  */
 
 #include "bench_util.hh"
+#include "exp/checkpoint.hh"
 #include "exp/sweep.hh"
 
 using namespace aero;
@@ -20,7 +21,8 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 15: erase suspension vs AERO");
 
     // --small pins a fixed request count so the golden baselines do not
@@ -39,7 +41,15 @@ main(int argc, char **argv)
                 "threads\n",
                 static_cast<unsigned long long>(spec.requests), spec.size(),
                 SweepRunner().threads());
-    const auto results = SweepRunner().run(spec);
+    const auto journal = artifacts.openJournal(
+        "fig15_erase_suspension", SweepCheckpoint::configOf(spec));
+    std::vector<SimResult> results;
+    if (journal) {
+        SweepCheckpoint checkpoint(*journal, spec);
+        results = SweepRunner().run(spec, checkpoint);
+    } else {
+        results = SweepRunner().run(spec);
+    }
     artifacts.writeSweep(spec, results);
 
     bench::rule();

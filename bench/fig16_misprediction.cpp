@@ -12,6 +12,7 @@
 
 #include "bench_util.hh"
 #include "devchar/lifetime.hh"
+#include "exp/checkpoint.hh"
 #include "exp/sweep.hh"
 
 using namespace aero;
@@ -20,7 +21,8 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 16: impact of misprediction rate");
     // --small: the regression-gate config — three rates, a smaller
     // block farm, and a fixed request count for the tail-latency side.
@@ -43,12 +45,46 @@ main(int argc, char **argv)
         cases.push_back({rate, SchemeKind::AeroCons});
         cases.push_back({rate, SchemeKind::Aero});
     }
-    const auto lifetimes = parallelMap(
-        cases, [&](const LifetimeCase &c) {
+
+    // Declare the tail-latency grids up front so the journal's config
+    // fingerprints every stage of the campaign (lifetime + two sweeps).
+    SweepBuilder tail =
+        SweepBuilder()
+            .workload("prxy")
+            .pec(500.0)
+            .requests(artifacts.small ? 2000 : defaultSimRequests());
+    const SweepSpec base_spec =
+        tail.scheme(SchemeKind::Baseline).build();
+    const SweepSpec spec = tail.scheme(SchemeKind::Aero)
+                               .mispredictionRates(rates)
+                               .build();
+    Json journal_cfg = bench::farmJournalConfig(
+        lc.farm.numChips, lc.farm.blocksPerChip, lc.farm.seed,
+        artifacts.small);
+    journal_cfg["misprediction_rates"] = bench::jsonArray(rates);
+    journal_cfg["tail_baseline_spec"] =
+        SweepCheckpoint::configOf(base_spec);
+    journal_cfg["tail_aero_spec"] = SweepCheckpoint::configOf(spec);
+    const auto journal = artifacts.openJournal("fig16_misprediction",
+                                               std::move(journal_cfg));
+    const CampaignScope scope{journal.get()};
+
+    const auto lifetimes = parallelMapJournaled(
+        scope.journal, cases,
+        [&](std::size_t, const LifetimeCase &c) {
+            Json key = scope.base();
+            key["stage"] = "lifetime";
+            key["scheme"] = schemeKindName(c.scheme);
+            key["misprediction_rate"] = c.rate;
+            return key;
+        },
+        [&](const LifetimeCase &c) {
             LifetimeConfig cfg = lc;
             cfg.schemeOptions.mispredictionRate = c.rate;
             return LifetimeTester(cfg).run(c.scheme);
-        });
+        },
+        [](const LifetimeResult &r) { return toJson(r); },
+        lifetimeResultFromJson);
     const double base_life = lifetimes[0].lifetimePec;
 
     std::printf("lifetime improvement over Baseline (%0.0f PEC)\n",
@@ -67,18 +103,23 @@ main(int argc, char **argv)
     // Tail-latency side (0.5K PEC, prxy): one Baseline reference point
     // plus AERO across the misprediction axis (Baseline ignores the
     // misprediction knob, so sweeping it there would waste 4 runs).
-    SweepBuilder tail =
-        SweepBuilder()
-            .workload("prxy")
-            .pec(500.0)
-            .requests(artifacts.small ? 2000 : defaultSimRequests());
-    const SweepSpec base_spec =
-        tail.scheme(SchemeKind::Baseline).build();
-    const SweepSpec spec = tail.scheme(SchemeKind::Aero)
-                               .mispredictionRates(rates)
-                               .build();
-    const auto base_results = SweepRunner().run(base_spec);
-    const auto results = SweepRunner().run(spec);
+    // Both sweeps share the bench journal, namespaced by key prefixes.
+    std::vector<SimResult> base_results, results;
+    if (journal) {
+        Json base_prefix = Json::object();
+        base_prefix["stage"] = "tail-baseline";
+        SweepCheckpoint base_ckpt(*journal, base_spec,
+                                  std::move(base_prefix));
+        base_results = SweepRunner().run(base_spec, base_ckpt);
+        Json aero_prefix = Json::object();
+        aero_prefix["stage"] = "tail-aero";
+        SweepCheckpoint aero_ckpt(*journal, spec,
+                                  std::move(aero_prefix));
+        results = SweepRunner().run(spec, aero_ckpt);
+    } else {
+        base_results = SweepRunner().run(base_spec);
+        results = SweepRunner().run(spec);
+    }
     const auto &base = base_results.front();
 
     std::printf("\nread tail latency at 0.5K PEC (prxy), normalized to "

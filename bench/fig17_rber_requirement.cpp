@@ -22,7 +22,8 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Figure 17: impact of the RBER requirement");
     const std::vector<int> requirements = {40, 50, 63};
     const int farm_chips = artifacts.small ? 4 : 6;
@@ -34,21 +35,53 @@ main(int argc, char **argv)
     report.spec["blocks_per_chip"] = farm_blocks;
     report.spec["small"] = artifacts.small;
 
+    const auto requests = artifacts.small
+        ? std::uint64_t{10000}
+        : defaultSimRequests();
+    Json journal_cfg = bench::farmJournalConfig(
+        farm_chips, farm_blocks, FarmConfig{}.seed, artifacts.small);
+    journal_cfg["rber_requirements"] = bench::jsonArray(requirements);
+    journal_cfg["requests"] = requests;
+    const auto journal = artifacts.openJournal("fig17_rber_requirement",
+                                               std::move(journal_cfg));
+    const CampaignScope scope{journal.get()};
+
     struct LifetimeRow
     {
         LifetimeResult base, cons, aero;
     };
-    const auto lifetimes = parallelMap(requirements, [&](int req) {
-        LifetimeConfig cfg;
-        cfg.farm.numChips = farm_chips;
-        cfg.farm.blocksPerChip = farm_blocks;
-        cfg.rberRequirement = req;
-        cfg.schemeOptions.rberRequirement = req;
-        LifetimeTester tester(cfg);
-        return LifetimeRow{tester.run(SchemeKind::Baseline),
-                           tester.run(SchemeKind::AeroCons),
-                           tester.run(SchemeKind::Aero)};
-    });
+    const auto lifetimes = parallelMapJournaled(
+        scope.journal, requirements,
+        [&](std::size_t, int req) {
+            Json key = scope.base();
+            key["stage"] = "lifetime";
+            key["rber_requirement"] = req;
+            return key;
+        },
+        [&](int req) {
+            LifetimeConfig cfg;
+            cfg.farm.numChips = farm_chips;
+            cfg.farm.blocksPerChip = farm_blocks;
+            cfg.rberRequirement = req;
+            cfg.schemeOptions.rberRequirement = req;
+            LifetimeTester tester(cfg);
+            return LifetimeRow{tester.run(SchemeKind::Baseline),
+                               tester.run(SchemeKind::AeroCons),
+                               tester.run(SchemeKind::Aero)};
+        },
+        [](const LifetimeRow &row) {
+            Json j = Json::object();
+            j["baseline"] = toJson(row.base);
+            j["aero_cons"] = toJson(row.cons);
+            j["aero"] = toJson(row.aero);
+            return j;
+        },
+        [](const Json &j) {
+            return LifetimeRow{
+                lifetimeResultFromJson(j.get("baseline")),
+                lifetimeResultFromJson(j.get("aero_cons")),
+                lifetimeResultFromJson(j.get("aero"))};
+        });
 
     std::printf("lifetime under each requirement (PEC)\n");
     bench::rule();
@@ -75,9 +108,6 @@ main(int argc, char **argv)
     }
     bench::rule();
 
-    const auto requests = artifacts.small
-        ? std::uint64_t{10000}
-        : defaultSimRequests();
     report.spec["requests"] = requests;
     struct LatencyPoint
     {
@@ -93,8 +123,16 @@ main(int argc, char **argv)
     {
         SimResult base, aero;
     };
-    const auto latencies =
-        parallelMap(points, [&](const LatencyPoint &pt) {
+    const auto latencies = parallelMapJournaled(
+        scope.journal, points,
+        [&](std::size_t, const LatencyPoint &pt) {
+            Json key = scope.base();
+            key["stage"] = "latency";
+            key["rber_requirement"] = pt.req;
+            key["pec"] = pt.pec;
+            return key;
+        },
+        [&](const LatencyPoint &pt) {
             SimPoint bp;
             bp.workload = "prxy";
             bp.pec = pt.pec;
@@ -103,6 +141,16 @@ main(int argc, char **argv)
             SimPoint ap = bp;
             ap.scheme = SchemeKind::Aero;
             return LatencyRow{runSimPoint(bp), runSimPoint(ap)};
+        },
+        [](const LatencyRow &row) {
+            Json j = Json::object();
+            j["baseline"] = toJson(row.base);
+            j["aero"] = toJson(row.aero);
+            return j;
+        },
+        [](const Json &j) {
+            return LatencyRow{simResultFromJson(j.get("baseline")),
+                              simResultFromJson(j.get("aero"))};
         });
 
     std::printf("\nAERO read-tail latency vs requirement (prxy, "

@@ -17,7 +17,8 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Table 1: erase-timing parameter table (EPT)");
     const auto params = ChipParams::tlc3d();
 
@@ -31,8 +32,13 @@ main(int argc, char **argv)
     ChipPopulation pop(pc);
     EptBuilderConfig bcfg;
     bcfg.blocksPerChip = artifacts.small ? 10 : 20;
+    Json journal_cfg = bench::farmJournalConfig(
+        pc.numChips, bcfg.blocksPerChip, pc.seed, artifacts.small);
+    journal_cfg["pec_points"] = bench::jsonArray(bcfg.pecPoints);
+    const auto journal = artifacts.openJournal("tab01_ept_model",
+                                               std::move(journal_cfg));
     EptBuilder builder(pop, bcfg);
-    const Ept built = builder.build();
+    const Ept built = builder.build({journal.get()});
     std::printf("\nderived by m-ISPE characterization "
                 "(%llu measurements):\n%s",
                 static_cast<unsigned long long>(builder.measurements()),

@@ -19,7 +19,8 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Table 2: simulated SSD configurations");
     std::printf("paper scale:\n%s\n", SsdConfig::paper().summary().c_str());
     std::printf("bench scale (capacity-reduced, same topology):\n%s",
@@ -30,15 +31,28 @@ main(int argc, char **argv)
     const std::uint64_t footprint_pages =
         artifacts.small ? 1 << 16 : 1 << 18;
     const std::uint64_t num_requests = artifacts.small ? 5000 : 20000;
-    const auto stats = parallelMap(
-        table3Workloads(), [&](const WorkloadSpec &spec) {
+    Json journal_cfg = Json::object();
+    journal_cfg["footprint_pages"] = footprint_pages;
+    journal_cfg["num_requests"] = num_requests;
+    journal_cfg["small"] = artifacts.small;
+    const auto journal = artifacts.openJournal("tab03_workloads",
+                                               std::move(journal_cfg));
+    const CampaignScope scope{journal.get()};
+    const auto stats = parallelMapJournaled(
+        scope.journal, table3Workloads(),
+        [&](std::size_t, const WorkloadSpec &w) {
+            return scope.key("workload", w.name);
+        },
+        [&](const WorkloadSpec &spec) {
             SyntheticConfig cfg;
             cfg.spec = spec;
             cfg.footprintPages = footprint_pages;
             cfg.numRequests = num_requests;
             return computeExtendedStats(generateTrace(cfg),
                                         cfg.pageSizeKB);
-        });
+        },
+        [](const ExtendedTraceStats &s) { return toJson(s); },
+        extendedStatsFromJson);
 
     bench::rule();
     std::printf("%-7s | %8s | %9s | %9s | %11s | %8s\n", "trace",

@@ -13,6 +13,7 @@
 #include <cmath>
 
 #include "bench_util.hh"
+#include "exp/checkpoint.hh"
 #include "exp/sweep.hh"
 
 using namespace aero;
@@ -21,7 +22,8 @@ int
 main(int argc, char **argv)
 {
     const auto artifacts =
-        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true);
+        bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
+                                 /*allow_checkpoint=*/true);
     bench::header("Table 4: average I/O performance (normalized %)");
 
     // --small: the regression-gate grid (three workloads, two PEC
@@ -42,7 +44,15 @@ main(int argc, char **argv)
     std::printf("requests/run: %llu, %zu points on %d threads\n",
                 static_cast<unsigned long long>(spec.requests), spec.size(),
                 SweepRunner().threads());
-    const auto results = SweepRunner().run(spec);
+    const auto journal = artifacts.openJournal(
+        "tab04_avg_performance", SweepCheckpoint::configOf(spec));
+    std::vector<SimResult> results;
+    if (journal) {
+        SweepCheckpoint checkpoint(*journal, spec);
+        results = SweepRunner().run(spec, checkpoint);
+    } else {
+        results = SweepRunner().run(spec);
+    }
     artifacts.writeSweep(spec, results);
 
     bench::rule();

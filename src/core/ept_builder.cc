@@ -38,6 +38,37 @@ measureMIspe(NandChip &chip, BlockId id)
     return r;
 }
 
+Json
+toJson(const MIspeResult &m)
+{
+    Json row = Json::object();
+    row["slots_required"] = m.slotsRequired;
+    row["n_ispe"] = m.nIspe;
+    row["final_loop_slots"] = m.finalLoopSlots;
+    row["mtbers_ms"] = m.mtBersMs;
+    Json fails = Json::array();
+    for (const double f : m.failAfterSlot)
+        fails.push(f);
+    row["fail_after_slot"] = std::move(fails);
+    return row;
+}
+
+MIspeResult
+mIspeResultFromJson(const Json &row)
+{
+    MIspeResult m;
+    m.slotsRequired =
+        static_cast<int>(row.get("slots_required").asInt64());
+    m.nIspe = static_cast<int>(row.get("n_ispe").asInt64());
+    m.finalLoopSlots =
+        static_cast<int>(row.get("final_loop_slots").asInt64());
+    m.mtBersMs = row.get("mtbers_ms").asDouble();
+    const Json &fails = row.get("fail_after_slot");
+    for (std::size_t i = 0; i < fails.size(); ++i)
+        m.failAfterSlot.push_back(fails.at(i).asDouble());
+    return m;
+}
+
 EptBuilder::EptBuilder(ChipPopulation &population,
                        const EptBuilderConfig &cfg_)
     : pop(population), cfg(cfg_)
@@ -45,7 +76,7 @@ EptBuilder::EptBuilder(ChipPopulation &population,
 }
 
 Ept
-EptBuilder::build()
+EptBuilder::build(const CampaignScope &scope)
 {
     const ChipParams &p = pop.params();
     samples = 0;
@@ -67,7 +98,8 @@ EptBuilder::build()
         pop, cfg.blocksPerChip, cfg.pecPoints,
         [](NandChip &chip, BlockId id, std::size_t) {
             return measureMIspe(chip, id);
-        });
+        },
+        scope, MIspeCodec{});
 
     for (std::size_t pi = 0; pi < cfg.pecPoints.size(); ++pi) {
         const double pec = cfg.pecPoints[pi];

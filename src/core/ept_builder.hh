@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/ept.hh"
+#include "exp/campaign.hh"
 #include "nand/population.hh"
 
 namespace aero
@@ -37,6 +38,22 @@ struct MIspeResult
  */
 MIspeResult measureMIspe(NandChip &chip, BlockId id);
 
+/** @name Campaign-journal codec (exact round trip, bit-for-bit). */
+/** @{ */
+Json toJson(const MIspeResult &m);
+MIspeResult mIspeResultFromJson(const Json &row);
+
+struct MIspeCodec
+{
+    Json encode(const MIspeResult &m) const { return toJson(m); }
+    MIspeResult
+    decode(const Json &row) const
+    {
+        return mIspeResultFromJson(row);
+    }
+};
+/** @} */
+
 struct EptBuilderConfig
 {
     int blocksPerChip = 12;
@@ -53,8 +70,12 @@ class EptBuilder
   public:
     EptBuilder(ChipPopulation &population, const EptBuilderConfig &cfg);
 
-    /** Run the characterization campaign and derive the table. */
-    Ept build();
+    /**
+     * Run the characterization campaign and derive the table. With a
+     * journal-bearing @p scope the campaign checkpoints each chip task
+     * and resumes from a prior journal, bit-identically.
+     */
+    Ept build(const CampaignScope &scope = {});
 
     /** Number of m-ISPE measurements taken by the last build(). */
     std::uint64_t measurements() const { return samples; }

@@ -14,22 +14,25 @@ namespace aero
 namespace
 {
 
-/** The shared campaign engine applied to a farm's sampled blocks. */
-template <typename Measure>
+/** The shared (journaled) campaign engine on a farm's sampled blocks. */
+template <typename Measure, typename Codec>
 auto
 measureFarmSharded(ChipFarm &farm, const std::vector<double> &pecs,
-                   Measure measure)
+                   Measure measure, const CampaignScope &scope,
+                   Codec codec)
 {
     return measureChipSharded(farm.population(),
                               farm.config().blocksPerChip, pecs,
-                              std::move(measure));
+                              std::move(measure), scope,
+                              std::move(codec));
 }
 
 } // namespace
 
 Fig4Data
 runFig4Experiment(const FarmConfig &farm_cfg,
-                  const std::vector<double> &pecs)
+                  const std::vector<double> &pecs,
+                  const CampaignScope &scope)
 {
     ChipFarm farm(farm_cfg);
     Fig4Data data;
@@ -38,7 +41,8 @@ runFig4Experiment(const FarmConfig &farm_cfg,
         farm, pecs,
         [](NandChip &chip, BlockId id, std::size_t) {
             return measureMIspe(chip, id);
-        });
+        },
+        scope, MIspeCodec{});
     for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
         Fig4Data::PecCurve curve;
         curve.pec = pecs[pi];
@@ -69,7 +73,8 @@ runFig4Experiment(const FarmConfig &farm_cfg,
 
 Fig7Data
 runFig7Experiment(const FarmConfig &farm_cfg,
-                  const std::vector<double> &pecs)
+                  const std::vector<double> &pecs,
+                  const CampaignScope &scope)
 {
     ChipFarm farm(farm_cfg);
     const ChipParams &p = farm.params();
@@ -79,7 +84,8 @@ runFig7Experiment(const FarmConfig &farm_cfg,
         farm, pecs,
         [](NandChip &chip, BlockId id, std::size_t) {
             return measureMIspe(chip, id);
-        });
+        },
+        scope, MIspeCodec{});
     for (const auto &records : by_pec) {
         for (const auto &m : records) {
             auto &row = rows[m.nIspe];
@@ -126,7 +132,8 @@ runFig7Experiment(const FarmConfig &farm_cfg,
 
 Fig8Data
 runFig8Experiment(const FarmConfig &farm_cfg,
-                  const std::vector<double> &pecs)
+                  const std::vector<double> &pecs,
+                  const CampaignScope &scope)
 {
     ChipFarm farm(farm_cfg);
     const ChipParams &p = farm.params();
@@ -136,7 +143,8 @@ runFig8Experiment(const FarmConfig &farm_cfg,
         farm, pecs,
         [](NandChip &chip, BlockId id, std::size_t) {
             return measureMIspe(chip, id);
-        });
+        },
+        scope, MIspeCodec{});
     for (const auto &records : by_pec) {
         for (const auto &m : records) {
             if (m.nIspe < 2 || m.nIspe > 5)
@@ -181,14 +189,56 @@ runFig8Experiment(const FarmConfig &farm_cfg,
     return data;
 }
 
+namespace
+{
+
+/** Fig. 9 cell codec for the campaign journal (exact round trip). */
+Json
+fig9CellToJson(const Fig9Data::Cell &cell)
+{
+    Json row = Json::object();
+    row["tse_slots"] = cell.tseSlots;
+    row["pec"] = cell.pec;
+    row["samples"] = cell.samples;
+    Json fracs = Json::array();
+    for (const double f : cell.rangeFraction)
+        fracs.push(f);
+    row["range_fraction"] = std::move(fracs);
+    row["benefit_fraction"] = cell.benefitFraction;
+    row["avg_tbers_ms"] = cell.avgTbersMs;
+    return row;
+}
+
+Fig9Data::Cell
+fig9CellFromJson(const Json &row)
+{
+    Fig9Data::Cell cell;
+    cell.tseSlots = static_cast<int>(row.get("tse_slots").asInt64());
+    cell.pec = row.get("pec").asDouble();
+    cell.samples = static_cast<int>(row.get("samples").asInt64());
+    const Json &fracs = row.get("range_fraction");
+    AERO_CHECK(fracs.size() == cell.rangeFraction.size(),
+               "fig9 cell record has ", fracs.size(),
+               " range fractions, expected ", cell.rangeFraction.size());
+    for (std::size_t i = 0; i < cell.rangeFraction.size(); ++i)
+        cell.rangeFraction[i] = fracs.at(i).asDouble();
+    cell.benefitFraction = row.get("benefit_fraction").asDouble();
+    cell.avgTbersMs = row.get("avg_tbers_ms").asDouble();
+    return cell;
+}
+
+} // namespace
+
 Fig9Data
 runFig9Experiment(const FarmConfig &farm_cfg,
                   const std::vector<int> &tse_slots,
-                  const std::vector<double> &pecs)
+                  const std::vector<double> &pecs,
+                  const CampaignScope &scope)
 {
     // Every (pec, tSE) cell runs on its own freshly seeded farm so the
     // cells are fully independent — parallelized cell-per-task, results
-    // kept in the serial loop's cell order.
+    // kept in the serial loop's cell order. Each completed cell is one
+    // journal record keyed by its (pec, tSE) axes.
     struct CellPoint
     {
         double pec;
@@ -200,7 +250,15 @@ runFig9Experiment(const FarmConfig &farm_cfg,
             points.push_back({pec, tse});
     }
     Fig9Data data;
-    data.cells = parallelMap(points, [&](const CellPoint &pt) {
+    data.cells = parallelMapJournaled(
+        scope.journal, points,
+        [&](std::size_t, const CellPoint &pt) {
+            Json key = scope.base();
+            key["pec"] = pt.pec;
+            key["tse_slots"] = pt.tse;
+            return key;
+        },
+        [&](const CellPoint &pt) {
         // Fresh farm per cell so every configuration sees the same
         // block population (the paper tests disjoint block sets).
         FarmConfig fc = farm_cfg;
@@ -251,7 +309,8 @@ runFig9Experiment(const FarmConfig &farm_cfg,
         cell.benefitFraction /= std::max(1, cell.samples);
         cell.avgTbersMs = tbers_sum / std::max(1, cell.samples);
         return cell;
-    });
+        },
+        fig9CellToJson, fig9CellFromJson);
     return data;
 }
 
@@ -274,9 +333,65 @@ eraseInsufficiently(NandChip &chip, BlockId id)
     return out;
 }
 
+namespace
+{
+
+/** Record of one completely erased block (Fig. 10a). */
+struct CompleteRecord
+{
+    int n;
+    double mrber;
+};
+
+struct CompleteCodec
+{
+    Json
+    encode(const CompleteRecord &r) const
+    {
+        Json row = Json::object();
+        row["n"] = r.n;
+        row["mrber"] = r.mrber;
+        return row;
+    }
+    CompleteRecord
+    decode(const Json &row) const
+    {
+        return CompleteRecord{
+            static_cast<int>(row.get("n").asInt64()),
+            row.get("mrber").asDouble()};
+    }
+};
+
+struct InsufficientCodec
+{
+    Json
+    encode(const InsufficientErase &r) const
+    {
+        Json row = Json::object();
+        row["n_ispe"] = r.nIspe;
+        row["fail_bits"] = r.failBits;
+        row["range"] = r.range;
+        row["mrber_after"] = r.mrberAfter;
+        return row;
+    }
+    InsufficientErase
+    decode(const Json &row) const
+    {
+        InsufficientErase r;
+        r.nIspe = static_cast<int>(row.get("n_ispe").asInt64());
+        r.failBits = row.get("fail_bits").asDouble();
+        r.range = static_cast<int>(row.get("range").asInt64());
+        r.mrberAfter = row.get("mrber_after").asDouble();
+        return r;
+    }
+};
+
+} // namespace
+
 Fig10Data
 runFig10Experiment(const FarmConfig &farm_cfg,
-                   const std::vector<double> &pecs)
+                   const std::vector<double> &pecs,
+                   const CampaignScope &scope)
 {
     (void)pecs;
     Fig10Data data;
@@ -296,11 +411,6 @@ runFig10Experiment(const FarmConfig &farm_cfg,
         // conditioned blocks (see part (b) below).
         ChipFarm farm(farm_cfg);
         const ChipParams &p = farm.params();
-        struct CompleteRecord
-        {
-            int n;
-            double mrber;
-        };
         const auto by_pec = measureFarmSharded(
             farm, cond_pecs,
             [&p](NandChip &chip, BlockId id, std::size_t) {
@@ -311,7 +421,8 @@ runFig10Experiment(const FarmConfig &farm_cfg,
                     chip.erasePulse(id, i, p.slotsPerLoop);
                 chip.finishErase(id);
                 return CompleteRecord{n, chip.maxRber(id)};
-            });
+            },
+            scope.with("pass", "complete"), CompleteCodec{});
         for (std::size_t pi = 0; pi < cond_pecs.size(); ++pi) {
             const int expect_n = conditioning[pi].second;
             for (const auto &rec : by_pec[pi]) {
@@ -341,7 +452,8 @@ runFig10Experiment(const FarmConfig &farm_cfg,
                     chip.params().slotsPerLoop);
                 chip.finishErase(id);
                 return r;
-            });
+            },
+            scope.with("pass", "insufficient"), InsufficientCodec{});
         for (std::size_t pi = 0; pi < cond_pecs.size(); ++pi) {
             const int expect_n = conditioning[pi].second;
             for (const auto &r : by_pec[pi]) {
@@ -384,18 +496,20 @@ runFig11Experiment(ChipType type, std::uint64_t seed)
 }
 
 Fig11Data
-runFig11Experiment(const FarmConfig &base)
+runFig11Experiment(const FarmConfig &base, const CampaignScope &scope)
 {
     Fig11Data data;
     data.type = base.type;
     const auto fig7 =
-        runFig7Experiment(base, {0.0, 1000.0, 2000.0, 3000.0});
+        runFig7Experiment(base, {0.0, 1000.0, 2000.0, 3000.0},
+                          scope.with("stage", "constants"));
     data.gammaEstimate = fig7.gammaEstimate;
     data.deltaEstimate = fig7.deltaEstimate;
     FarmConfig fc10 = base;
     fc10.seed = base.seed + 17;
     data.reliability =
-        runFig10Experiment(fc10, {500.0, 1500.0, 2500.0, 3500.0});
+        runFig10Experiment(fc10, {500.0, 1500.0, 2500.0, 3500.0},
+                           scope.with("stage", "reliability"));
     return data;
 }
 

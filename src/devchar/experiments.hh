@@ -15,6 +15,7 @@
 
 #include "core/ept_builder.hh"
 #include "devchar/farm.hh"
+#include "exp/campaign.hh"
 
 namespace aero
 {
@@ -37,7 +38,8 @@ struct Fig4Data
 };
 
 Fig4Data runFig4Experiment(const FarmConfig &farm_cfg,
-                           const std::vector<double> &pecs);
+                           const std::vector<double> &pecs,
+                           const CampaignScope &scope = {});
 
 /** Fig. 7: fail-bit count vs accumulated tEP in the final erase loop. */
 struct Fig7Data
@@ -56,7 +58,8 @@ struct Fig7Data
 };
 
 Fig7Data runFig7Experiment(const FarmConfig &farm_cfg,
-                           const std::vector<double> &pecs);
+                           const std::vector<double> &pecs,
+                           const CampaignScope &scope = {});
 
 /** Fig. 8: P(mtEP(N) | fail-bit range of F(N-1)) and range occupancy. */
 struct Fig8Data
@@ -74,7 +77,8 @@ struct Fig8Data
 };
 
 Fig8Data runFig8Experiment(const FarmConfig &farm_cfg,
-                           const std::vector<double> &pecs);
+                           const std::vector<double> &pecs,
+                           const CampaignScope &scope = {});
 
 /** Fig. 9: F(0) distribution under varying shallow-erasure length. */
 struct Fig9Data
@@ -93,7 +97,8 @@ struct Fig9Data
 
 Fig9Data runFig9Experiment(const FarmConfig &farm_cfg,
                            const std::vector<int> &tse_slots,
-                           const std::vector<double> &pecs);
+                           const std::vector<double> &pecs,
+                           const CampaignScope &scope = {});
 
 /** Fig. 10: reliability margin after complete / insufficient erasure. */
 struct Fig10Data
@@ -120,7 +125,8 @@ struct Fig10Data
 };
 
 Fig10Data runFig10Experiment(const FarmConfig &farm_cfg,
-                             const std::vector<double> &pecs);
+                             const std::vector<double> &pecs,
+                             const CampaignScope &scope = {});
 
 /** Fig. 11: gamma/delta and insufficient-erasure RBER for other chips. */
 struct Fig11Data
@@ -134,7 +140,8 @@ struct Fig11Data
 Fig11Data runFig11Experiment(ChipType type, std::uint64_t seed);
 
 /** As above with an explicit farm scale (type and seed from @p base). */
-Fig11Data runFig11Experiment(const FarmConfig &base);
+Fig11Data runFig11Experiment(const FarmConfig &base,
+                             const CampaignScope &scope = {});
 
 /**
  * Erase a block with Baseline loops but stop before the final loop

@@ -14,6 +14,7 @@
 
 #include "devchar/farm.hh"
 #include "erase/scheme.hh"
+#include "exp/campaign.hh"
 
 namespace aero
 {
@@ -62,12 +63,22 @@ class LifetimeTester
     /**
      * Run all five schemes (the full Fig. 13), fanned out across the
      * sweep thread pool (AERO_SWEEP_THREADS); results in paper order.
+     * With a journal-bearing @p scope, each completed scheme is one
+     * flushed checkpoint record (keyed by scheme name) and a rerun
+     * resumes from the journal, bit-identically.
      */
-    std::vector<LifetimeResult> runAll() const;
+    std::vector<LifetimeResult>
+    runAll(const CampaignScope &scope = {}) const;
 
   private:
     LifetimeConfig cfg;
 };
+
+/** @name Campaign-journal codec (exact round trip, bit-for-bit). */
+/** @{ */
+Json toJson(const LifetimeResult &r);
+LifetimeResult lifetimeResultFromJson(const Json &row);
+/** @} */
 
 } // namespace aero
 

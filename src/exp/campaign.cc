@@ -1,0 +1,377 @@
+#include "exp/campaign.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+namespace
+{
+
+constexpr const char *kSchema = "aero-campaign/1";
+
+/** FNV-1a 64-bit over @p text, rendered as 16 hex digits. */
+std::string
+hashHex(const std::string &text)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+/** Render a config value for a mismatch message, clipped for sanity. */
+std::string
+renderValue(const Json *v)
+{
+    if (!v)
+        return "(absent)";
+    std::string s = v->dump();
+    constexpr std::size_t kMax = 96;
+    if (s.size() > kMax)
+        s = s.substr(0, kMax) + "...";
+    return s;
+}
+
+/**
+ * Dotted path and values of the first leaf on which two config
+ * documents disagree ("requests: 2000 vs 1500",
+ * "spec.workloads[1]: \"hm\" vs \"usr\""); empty when the documents are
+ * equal (the fingerprint then differs only through the campaign name —
+ * possible only via journal surgery).
+ */
+std::string
+firstMismatch(const Json &stored, const Json &current,
+              const std::string &path)
+{
+    const auto label = [&](const std::string &leaf) {
+        return path.empty() ? leaf : path + "." + leaf;
+    };
+    if (stored.isObject() && current.isObject()) {
+        std::vector<std::string> keys;
+        const auto collect = [&](const Json &doc) {
+            for (std::size_t i = 0; i < doc.size(); ++i) {
+                const std::string &name = doc.member(i).first;
+                if (std::find(keys.begin(), keys.end(), name) ==
+                    keys.end())
+                    keys.push_back(name);
+            }
+        };
+        collect(current);
+        collect(stored);
+        for (const auto &key : keys) {
+            const Json *a = stored.find(key);
+            const Json *b = current.find(key);
+            if (a && b) {
+                if (*a == *b)
+                    continue;
+                const std::string deeper =
+                    firstMismatch(*a, *b, label(key));
+                if (!deeper.empty())
+                    return deeper;
+            }
+            return detail::concat(label(key), ": ", renderValue(a),
+                                  " vs ", renderValue(b));
+        }
+        return "";
+    }
+    if (stored.isArray() && current.isArray()) {
+        if (stored.size() != current.size()) {
+            return detail::concat(path, ": ", stored.size(),
+                                  " item(s) vs ", current.size());
+        }
+        for (std::size_t i = 0; i < stored.size(); ++i) {
+            if (stored.at(i) == current.at(i))
+                continue;
+            return firstMismatch(stored.at(i), current.at(i),
+                                 detail::concat(path, "[", i, "]"));
+        }
+        return "";
+    }
+    if (stored == current)
+        return "";
+    return detail::concat(path, ": ", renderValue(&stored), " vs ",
+                          renderValue(&current));
+}
+
+} // namespace
+
+std::string
+CampaignJournal::fingerprint(const std::string &campaign,
+                             const Json &config)
+{
+    return hashHex(campaign + '\n' + config.dump());
+}
+
+CampaignJournal::CampaignJournal(std::string path, std::string name,
+                                 Json config)
+    : journalPath(std::move(path)), campaign(std::move(name)),
+      fp(fingerprint(campaign, config)), configJson(std::move(config))
+{
+    // A bad journal path must fail naming the path, not surface later
+    // as a raw stream failure once the first record is flushed.
+    const auto parent =
+        std::filesystem::path(journalPath).parent_path();
+    std::error_code ec;
+    if (!parent.empty() && !std::filesystem::is_directory(parent, ec)) {
+        AERO_FATAL("cannot create checkpoint '", journalPath,
+                   "': parent directory '", parent.string(),
+                   "' does not exist");
+    }
+    load();
+}
+
+CampaignJournal::~CampaignJournal()
+{
+    if (out)
+        std::fclose(out);
+}
+
+std::size_t
+CampaignJournal::cachedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+bool
+CampaignJournal::has(const Json &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return indexByKey.count(key.dump()) > 0;
+}
+
+Json
+CampaignJournal::cached(const Json &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = indexByKey.find(key.dump());
+    AERO_CHECK(it != indexByKey.end(), "no journaled record for key ",
+               key.dump());
+    return entries[it->second].second;
+}
+
+void
+CampaignJournal::forEachCached(
+    const std::function<void(const Json &, const Json &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto &[key, payload] : entries)
+        fn(key, payload);
+}
+
+void
+CampaignJournal::insert(Json key, Json payload)
+{
+    const std::string canonical = key.dump();
+    const auto it = indexByKey.find(canonical);
+    if (it != indexByKey.end()) {
+        // Duplicate keys can only come from journal surgery; last wins,
+        // matching what a replaying reader would observe.
+        entries[it->second].second = std::move(payload);
+        return;
+    }
+    indexByKey.emplace(canonical, entries.size());
+    entries.emplace_back(std::move(key), std::move(payload));
+}
+
+void
+CampaignJournal::load()
+{
+    std::string text;
+    {
+        std::ifstream in(journalPath, std::ios::binary);
+        if (!in) {
+            // No journal yet: start one.
+            openForAppend(0, /*writeHeader=*/true);
+            return;
+        }
+        std::ostringstream content;
+        content << in.rdbuf();
+        if (in.bad())
+            AERO_FATAL("failed reading checkpoint '", journalPath, "'");
+        text = content.str();
+    }
+
+    // Walk the journal line by line. goodBytes tracks the end of the
+    // last intact record so a torn tail can be truncated away before
+    // new records are appended after it.
+    std::uint64_t goodBytes = 0;
+    std::size_t lineNo = 0;
+    bool sawHeader = false;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        const bool terminated = end != std::string::npos;
+        if (!terminated)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        const std::size_t next = terminated ? end + 1 : end;
+        const bool isLast = next >= text.size();
+        lineNo += 1;
+
+        Json row;
+        Json::ParseError err;
+        if (line.empty() || !Json::parse(line, &row, &err)) {
+            // Torn-write tolerance covers the final *record* only. A
+            // header that does not parse means this is not a journal
+            // at all — truncating here would destroy whatever file the
+            // caller pointed us at by mistake.
+            if (isLast && sawHeader) {
+                AERO_WARN("checkpoint '", journalPath,
+                          "': dropping torn record on line ", lineNo);
+                break;
+            }
+            AERO_FATAL("checkpoint '", journalPath, "' is ",
+                       sawHeader ? "corrupt" : "not a campaign journal",
+                       ": line ", lineNo, ": ",
+                       line.empty() ? "empty record" : err.toString());
+        }
+
+        if (!terminated) {
+            // A final line missing its newline is a torn write even
+            // when the JSON happens to be complete: appending after it
+            // would fuse two records into one corrupt line. Truncate
+            // it away — for a torn *header*, only after validating it
+            // really is this campaign's journal (the non-journal-file
+            // protection above must still hold).
+            if (!sawHeader)
+                loadHeader(row, lineNo);
+            AERO_WARN("checkpoint '", journalPath,
+                      "': dropping unterminated ",
+                      sawHeader ? "record" : "header", " on line ",
+                      lineNo);
+            break;
+        }
+
+        if (!sawHeader) {
+            loadHeader(row, lineNo);
+            sawHeader = true;
+        } else {
+            loadRecord(row, lineNo);
+        }
+        goodBytes = next;
+        start = next;
+    }
+
+    openForAppend(goodBytes, /*writeHeader=*/!sawHeader);
+}
+
+void
+CampaignJournal::loadHeader(const Json &row, std::size_t lineNo)
+{
+    const Json *schema = row.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != kSchema) {
+        AERO_FATAL("'", journalPath, "' is not an ", kSchema,
+                   " journal (line ", lineNo, ")");
+    }
+    const Json *storedName = row.find("campaign");
+    const Json *storedFp = row.find("fingerprint");
+    const Json *storedConfig = row.find("config");
+    if (!storedName || !storedName->isString() || !storedFp ||
+        !storedFp->isString() || !storedConfig ||
+        !storedConfig->isObject()) {
+        AERO_FATAL("checkpoint '", journalPath,
+                   "' has a malformed header (line ", lineNo, ")");
+    }
+    if (storedName->asString() != campaign) {
+        AERO_FATAL("checkpoint '", journalPath,
+                   "' belongs to campaign '", storedName->asString(),
+                   "', expected '", campaign,
+                   "' — refusing to resume another campaign's journal");
+    }
+    if (storedFp->asString() != fp) {
+        const std::string field =
+            firstMismatch(*storedConfig, configJson, "");
+        AERO_FATAL("checkpoint '", journalPath, "' was written for a "
+                   "different '", campaign,
+                   "' campaign configuration (fingerprint ",
+                   storedFp->asString(), ", expected ", fp, "): ",
+                   field.empty()
+                       ? "stored configuration matches — journal "
+                         "corrupt?"
+                       : field);
+    }
+}
+
+void
+CampaignJournal::loadRecord(const Json &row, std::size_t lineNo)
+{
+    const Json *recordFp = row.find("fingerprint");
+    const Json *key = row.find("key");
+    const Json *payload = row.find("payload");
+    if (!recordFp || !recordFp->isString() || !key || !payload) {
+        AERO_FATAL("checkpoint '", journalPath,
+                   "' has a malformed record on line ", lineNo);
+    }
+    if (recordFp->asString() != fp) {
+        AERO_FATAL("checkpoint '", journalPath, "': record on line ",
+                   lineNo, " carries fingerprint ", recordFp->asString(),
+                   ", expected ", fp,
+                   " — refusing to splice records from a different "
+                   "campaign");
+    }
+    insert(*key, *payload);
+}
+
+void
+CampaignJournal::openForAppend(std::uint64_t keepBytes, bool writeHeader)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(journalPath, ec);
+    if (!ec && size > keepBytes) {
+        std::filesystem::resize_file(journalPath, keepBytes, ec);
+        if (ec) {
+            AERO_FATAL("cannot truncate torn tail of '", journalPath,
+                       "': ", ec.message());
+        }
+    }
+    out = std::fopen(journalPath.c_str(), "ab");
+    if (!out)
+        AERO_FATAL("cannot open checkpoint '", journalPath,
+                   "' for appending");
+    if (writeHeader) {
+        Json header = Json::object();
+        header["schema"] = kSchema;
+        header["campaign"] = campaign;
+        header["fingerprint"] = fp;
+        header["config"] = configJson;
+        append(header);
+    }
+}
+
+void
+CampaignJournal::append(const Json &row)
+{
+    const std::string line = row.dump() + '\n';
+    if (std::fwrite(line.data(), 1, line.size(), out) != line.size() ||
+        std::fflush(out) != 0) {
+        AERO_FATAL("failed writing checkpoint '", journalPath, "'");
+    }
+}
+
+void
+CampaignJournal::record(const Json &key, Json payload)
+{
+    Json row = Json::object();
+    row["fingerprint"] = fp;
+    row["key"] = key;
+    row["payload"] = payload;
+    std::lock_guard<std::mutex> lock(mutex);
+    append(row);
+    insert(key, std::move(payload));
+}
+
+} // namespace aero

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The campaign journal: generic checkpoint/resume for any long-running
+ * experiment campaign — system-level sweeps (Figs. 13-16, Tabs. 3-4),
+ * chip-sharded device-characterization runs (Figs. 4, 7-11, 17, Tab. 1),
+ * or anything else shaped as "many independent tasks, each producing one
+ * record".
+ *
+ * Journal format (`aero-campaign/1`), one JSON document per line:
+ *
+ *   {"schema":"aero-campaign/1","campaign":"<name>",
+ *    "fingerprint":"<hex>","config":{..}}
+ *   {"fingerprint":"<hex>","key":{..axes..},"payload":<any JSON>}
+ *   ...
+ *
+ * The header pins the journal to one (campaign, configuration) pair via
+ * a fingerprint over the campaign name and the canonical config JSON;
+ * every record repeats the fingerprint so a record can never be spliced
+ * into the wrong campaign. Records are keyed by an *axis object* (chip
+ * index, scheme name, grid point, ...), not by position, so a journal
+ * written under any thread count resumes correctly under any other.
+ *
+ * Crash tolerance: each record is one write() followed by a flush, so a
+ * torn write leaves at most one partial final line. On open, the loader
+ * parses each line with Json::parse, drops a malformed *tail record*
+ * (warning, then truncates the file back to the last good record before
+ * appending), and fails loudly on corruption anywhere else — including a
+ * file whose first line is not a journal header (never truncate a file
+ * the caller pointed us at by mistake) — and on any campaign or
+ * fingerprint mismatch, naming the config field that differs.
+ */
+
+#ifndef AERO_EXP_CAMPAIGN_HH
+#define AERO_EXP_CAMPAIGN_HH
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exp/json.hh"
+#include "exp/sweep_impl.hh"
+
+namespace aero
+{
+
+class CampaignJournal
+{
+  public:
+    /**
+     * Open (or create) the journal at @p path for the campaign named
+     * @p campaign with configuration @p config. An existing journal is
+     * validated (schema, campaign name, fingerprint) and its records
+     * are loaded; a journal written for a different campaign or
+     * configuration is fatal with a message naming the mismatch.
+     */
+    CampaignJournal(std::string path, std::string campaign, Json config);
+    ~CampaignJournal();
+
+    CampaignJournal(const CampaignJournal &) = delete;
+    CampaignJournal &operator=(const CampaignJournal &) = delete;
+
+    const std::string &path() const { return journalPath; }
+    const std::string &campaignName() const { return campaign; }
+
+    /** Number of distinct keys already journaled. */
+    std::size_t cachedCount() const;
+
+    /** Was a record with this key already journaled? Thread-safe. */
+    bool has(const Json &key) const;
+
+    /**
+     * The journaled payload for @p key (fatal when absent; check has()
+     * first). Returns a copy so the reference cannot dangle while other
+     * workers append. Thread-safe.
+     */
+    Json cached(const Json &key) const;
+
+    /**
+     * Append one completed task's record and flush it to disk.
+     * Thread-safe: workers journal records in completion order, and the
+     * key-addressed loader makes order irrelevant on resume.
+     */
+    void record(const Json &key, Json payload);
+
+    /** Visit every cached (key, payload) pair, in journal order. */
+    void forEachCached(
+        const std::function<void(const Json &key, const Json &payload)>
+            &fn) const;
+
+    /**
+     * Fingerprint of a campaign: a hash over its name and its canonical
+     * config JSON, rendered as hex.
+     */
+    static std::string fingerprint(const std::string &campaign,
+                                   const Json &config);
+
+  private:
+    void load();
+    void loadHeader(const Json &row, std::size_t lineNo);
+    void loadRecord(const Json &row, std::size_t lineNo);
+    void openForAppend(std::uint64_t keepBytes, bool writeHeader);
+    void append(const Json &row);
+    void insert(Json key, Json payload);
+
+    std::string journalPath;
+    std::string campaign;
+    std::string fp;        //!< fingerprint of (campaign, config)
+    Json configJson;       //!< canonical config (header payload)
+    /** (key, payload) in journal order; deque keeps entries stable. */
+    std::deque<std::pair<Json, Json>> entries;
+    std::unordered_map<std::string, std::size_t> indexByKey;
+    std::FILE *out = nullptr;
+    mutable std::mutex mutex;
+};
+
+/**
+ * A journal handle plus a key prefix, cheap to pass down through the
+ * stages of a multi-part campaign. An empty scope (null journal) turns
+ * every journaled engine into its plain, uncheckpointed self, so
+ * callers thread one scope through unconditionally.
+ */
+struct CampaignScope
+{
+    CampaignJournal *journal = nullptr;
+    Json prefix = Json::object();
+
+    CampaignScope() = default;
+    CampaignScope(CampaignJournal *j) : journal(j) {}
+    CampaignScope(CampaignJournal *j, Json p)
+        : journal(j), prefix(std::move(p))
+    {
+    }
+
+    explicit operator bool() const { return journal != nullptr; }
+
+    /** This scope narrowed by one more key axis. */
+    CampaignScope
+    with(const std::string &axis, Json value) const
+    {
+        CampaignScope s(journal, prefix);
+        s.prefix[axis] = std::move(value);
+        return s;
+    }
+
+    /** A record key: the prefix axes (copy, ready for more members). */
+    Json base() const { return prefix; }
+
+    /** A record key: the prefix axes plus one final axis. */
+    Json
+    key(const std::string &axis, Json value) const
+    {
+        Json k = prefix;
+        k[axis] = std::move(value);
+        return k;
+    }
+};
+
+/**
+ * parallelMap() with a campaign journal: each item's result is
+ * journaled under `keyOf(index, item)` as `encode(result)`, and items
+ * already journaled are decoded from the journal instead of recomputed
+ * — so a killed campaign resumes from its last flushed task. With a
+ * null journal this is exactly parallelMap(). Results are byte-stable
+ * across kill/resume cycles and thread counts provided
+ * `decode(encode(x))` reproduces `x` exactly (every codec in this repo
+ * round-trips doubles bit-for-bit through the JSON serializer).
+ */
+template <typename Item, typename KeyFn, typename Fn, typename Enc,
+          typename Dec>
+auto
+parallelMapJournaled(CampaignJournal *journal,
+                     const std::vector<Item> &items, KeyFn keyOf, Fn fn,
+                     Enc encode, Dec decode, int threads = 0)
+    -> std::vector<std::decay_t<decltype(fn(items.front()))>>
+{
+    using Result = std::decay_t<decltype(fn(items.front()))>;
+    std::vector<std::size_t> indices(items.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    return parallelMap(
+        indices,
+        [&](std::size_t i) -> Result {
+            if (!journal)
+                return fn(items[i]);
+            const Json key = keyOf(i, items[i]);
+            if (journal->has(key))
+                return decode(journal->cached(key));
+            Result r = fn(items[i]);
+            journal->record(key, encode(r));
+            return r;
+        },
+        threads);
+}
+
+} // namespace aero
+
+#endif // AERO_EXP_CAMPAIGN_HH

@@ -1,10 +1,6 @@
 #include "exp/checkpoint.hh"
 
 #include <algorithm>
-#include <cstdint>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "common/logging.hh"
 #include "erase/scheme_registry.hh"
@@ -15,23 +11,6 @@ namespace aero
 
 namespace
 {
-
-constexpr const char *kSchema = "aero-checkpoint/1";
-
-/** FNV-1a 64-bit over @p text, rendered as 16 hex digits. */
-std::string
-hashHex(const std::string &text)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (const unsigned char c : text) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
-}
 
 /**
  * Flat expand() index of @p pt on @p spec's grid; fatal when the point
@@ -64,60 +43,29 @@ pointIndex(const SweepSpec &spec, const SimPoint &pt)
                       axis(spec.seeds, pt.seed, "seed"));
 }
 
-/**
- * Name the first field on which two spec JSON documents disagree, as
- * "key: theirs vs ours"; empty when the documents are equal (the
- * fingerprint then differs through the drive configuration, which the
- * header JSON does not carry).
- */
-std::string
-describeSpecMismatch(const Json &stored, const Json &current)
-{
-    std::vector<std::string> keys;
-    const auto collect = [&](const Json &doc) {
-        for (std::size_t i = 0; i < doc.size(); ++i) {
-            const std::string &name = doc.member(i).first;
-            if (std::find(keys.begin(), keys.end(), name) == keys.end())
-                keys.push_back(name);
-        }
-    };
-    collect(current);
-    collect(stored);
-    for (const auto &key : keys) {
-        const Json *a = stored.find(key);
-        const Json *b = current.find(key);
-        if (a && b && *a == *b)
-            continue;
-        return detail::concat(key, ": ", a ? a->dump() : "(absent)",
-                              " vs ", b ? b->dump() : "(absent)");
-    }
-    return "";
-}
-
 } // namespace
 
-std::string
-SweepCheckpoint::fingerprint(const SweepSpec &spec)
+Json
+SweepCheckpoint::configOf(const SweepSpec &spec)
 {
-    // The report JSON covers the axes/requests/capacity; the drive
-    // summary covers the rest of the base configuration, so resuming
-    // onto a reconfigured drive cannot silently splice stale rows.
-    return hashHex(toJson(spec).dump() + '\n' + spec.base.summary());
+    Json config = toJson(spec);
+    config["drive"] = spec.base.summary();
+    return config;
 }
 
 SweepCheckpoint::SweepCheckpoint(std::string path, const SweepSpec &owner)
-    : journalPath(std::move(path)), fp(fingerprint(owner)),
-      specJson(toJson(owner)), spec(owner)
+    : owned(std::make_unique<CampaignJournal>(std::move(path), "sweep",
+                                              configOf(owner))),
+      journal(owned.get()), prefix(Json::object()), spec(owner)
 {
-    results.resize(spec.size());
-    present.assign(spec.size(), 0);
     load();
 }
 
-SweepCheckpoint::~SweepCheckpoint()
+SweepCheckpoint::SweepCheckpoint(CampaignJournal &shared,
+                                 const SweepSpec &owner, Json keyPrefix)
+    : journal(&shared), prefix(std::move(keyPrefix)), spec(owner)
 {
-    if (out)
-        std::fclose(out);
+    load();
 }
 
 bool
@@ -133,169 +81,62 @@ SweepCheckpoint::cached(std::size_t index) const
     return results[index];
 }
 
+Json
+SweepCheckpoint::keyOf(const SimPoint &pt) const
+{
+    Json key = prefix;
+    Json point = Json::object();
+    point["workload"] = pt.workload;
+    point["scheme"] = schemeKindName(pt.scheme);
+    point["pec"] = pt.pec;
+    point["suspension"] = suspensionModeName(pt.suspension);
+    point["misprediction_rate"] = pt.mispredictionRate;
+    point["rber_requirement"] = pt.rberRequirement;
+    point["seed"] = pt.seed;
+    key["point"] = std::move(point);
+    return key;
+}
+
 void
 SweepCheckpoint::load()
 {
-    std::string text;
-    {
-        std::ifstream in(journalPath, std::ios::binary);
-        if (!in) {
-            // No journal yet: start one.
-            openForAppend(0, /*writeHeader=*/true);
+    results.resize(spec.size());
+    present.assign(spec.size(), 0);
+    journal->forEachCached([&](const Json &key, const Json &payload) {
+        // Records of other stages sharing this journal carry either a
+        // different prefix or extra axes; both fail this filter.
+        if (!key.isObject() || key.size() != prefix.size() + 1 ||
+            !key.contains("point"))
             return;
+        for (std::size_t i = 0; i < prefix.size(); ++i) {
+            const auto &[name, value] = prefix.member(i);
+            const Json *theirs = key.find(name);
+            if (!theirs || *theirs != value)
+                return;
         }
-        std::ostringstream content;
-        content << in.rdbuf();
-        if (in.bad())
-            AERO_FATAL("failed reading checkpoint '", journalPath, "'");
-        text = content.str();
-    }
-
-    // Walk the journal line by line. goodBytes tracks the end of the
-    // last intact record so a torn tail can be truncated away before
-    // new records are appended after it.
-    std::uint64_t goodBytes = 0;
-    std::size_t lineNo = 0;
-    bool sawHeader = false;
-    std::size_t start = 0;
-    while (start < text.size()) {
-        std::size_t end = text.find('\n', start);
-        const bool terminated = end != std::string::npos;
-        if (!terminated)
-            end = text.size();
-        const std::string line = text.substr(start, end - start);
-        const std::size_t next = terminated ? end + 1 : end;
-        const bool isLast = next >= text.size();
-        lineNo += 1;
-
-        Json row;
-        Json::ParseError err;
-        if (line.empty() || !Json::parse(line, &row, &err)) {
-            // Torn-write tolerance covers the final *record* only. A
-            // header that does not parse means this is not a journal
-            // at all — truncating here would destroy whatever file the
-            // caller pointed us at by mistake.
-            if (isLast && sawHeader) {
-                AERO_WARN("checkpoint '", journalPath,
-                          "': dropping torn record on line ", lineNo);
-                break;
-            }
-            AERO_FATAL("checkpoint '", journalPath, "' is ",
-                       sawHeader ? "corrupt" : "not a sweep journal",
-                       ": line ", lineNo, ": ",
-                       line.empty() ? "empty record" : err.toString());
+        const SimResult r = simResultFromJson(payload);
+        if (r.point.requests != spec.requests) {
+            AERO_FATAL("checkpoint '", journal->path(),
+                       "': journaled point ran ", r.point.requests,
+                       " requests, the sweep expects ", spec.requests,
+                       " — refusing to splice stale rows");
         }
-
-        if (!sawHeader) {
-            loadHeader(row, lineNo);
-            sawHeader = true;
-        } else {
-            loadRecord(row, lineNo);
-        }
-        goodBytes = next;
-        start = next;
-    }
-
-    openForAppend(goodBytes, /*writeHeader=*/!sawHeader);
-}
-
-void
-SweepCheckpoint::loadHeader(const Json &row, std::size_t lineNo)
-{
-    const Json *schema = row.find("schema");
-    if (!schema || !schema->isString() ||
-        schema->asString() != kSchema) {
-        AERO_FATAL("'", journalPath, "' is not an ", kSchema,
-                   " journal (line ", lineNo, ")");
-    }
-    const Json *storedFp = row.find("fingerprint");
-    const Json *storedSpec = row.find("spec");
-    if (!storedFp || !storedFp->isString() || !storedSpec ||
-        !storedSpec->isObject()) {
-        AERO_FATAL("checkpoint '", journalPath,
-                   "' has a malformed header (line ", lineNo, ")");
-    }
-    if (storedFp->asString() != fp) {
-        const std::string field =
-            describeSpecMismatch(*storedSpec, specJson);
-        AERO_FATAL("checkpoint '", journalPath, "' was written for a "
-                   "different sweep spec (fingerprint ",
-                   storedFp->asString(), ", expected ", fp, "): ",
-                   field.empty() ? "base drive configuration differs"
-                                 : field);
-    }
-}
-
-void
-SweepCheckpoint::loadRecord(const Json &row, std::size_t lineNo)
-{
-    const Json *recordFp = row.find("fingerprint");
-    const Json *result = row.find("result");
-    if (!recordFp || !recordFp->isString() || !result ||
-        !result->isObject()) {
-        AERO_FATAL("checkpoint '", journalPath,
-                   "' has a malformed record on line ", lineNo);
-    }
-    if (recordFp->asString() != fp) {
-        AERO_FATAL("checkpoint '", journalPath, "': record on line ",
-                   lineNo, " carries fingerprint ", recordFp->asString(),
-                   ", expected ", fp,
-                   " — refusing to splice rows from a different sweep");
-    }
-    const SimResult r = simResultFromJson(*result);
-    const std::size_t idx = pointIndex(spec, r.point);
-    if (!present[idx])
-        loadedCount += 1;
-    // Duplicate records can only come from journal surgery; last wins,
-    // matching what a replaying reader would observe.
-    present[idx] = 1;
-    results[idx] = r;
-}
-
-void
-SweepCheckpoint::openForAppend(std::uint64_t keepBytes, bool writeHeader)
-{
-    std::error_code ec;
-    const auto size = std::filesystem::file_size(journalPath, ec);
-    if (!ec && size > keepBytes) {
-        std::filesystem::resize_file(journalPath, keepBytes, ec);
-        if (ec) {
-            AERO_FATAL("cannot truncate torn tail of '", journalPath,
-                       "': ", ec.message());
-        }
-    }
-    out = std::fopen(journalPath.c_str(), "ab");
-    if (!out)
-        AERO_FATAL("cannot open checkpoint '", journalPath,
-                   "' for appending");
-    if (writeHeader) {
-        Json header = Json::object();
-        header["schema"] = kSchema;
-        header["fingerprint"] = fp;
-        header["spec"] = specJson;
-        append(header);
-    }
-}
-
-void
-SweepCheckpoint::append(const Json &row)
-{
-    const std::string line = row.dump() + '\n';
-    if (std::fwrite(line.data(), 1, line.size(), out) != line.size() ||
-        std::fflush(out) != 0) {
-        AERO_FATAL("failed writing checkpoint '", journalPath, "'");
-    }
+        const std::size_t idx = pointIndex(spec, r.point);
+        if (!present[idx])
+            loadedCount += 1;
+        present[idx] = 1;
+        results[idx] = r;
+    });
 }
 
 void
 SweepCheckpoint::record(const SimResult &result)
 {
     const std::size_t idx = pointIndex(spec, result.point);
-    Json row = Json::object();
-    row["fingerprint"] = fp;
-    row["result"] = toJson(result);
-    std::lock_guard<std::mutex> lock(writeMutex);
-    append(row);
+    journal->record(keyOf(result.point), toJson(result));
+    // The journal serializes record(); this counter is only read
+    // between runs, and the runner's progress callback (our caller) is
+    // already serialized by the progress mutex.
     if (!present[idx])
         loadedCount += 1;
     present[idx] = 1;

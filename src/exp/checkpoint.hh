@@ -1,43 +1,31 @@
 /**
  * @file
- * Checkpoint/resume for sweeps: an append-only JSON-lines journal of
- * completed SimResults, so the paper's hours-long system grids (Figs.
- * 13-16, Tables 3-4 scale) survive crashes and restarts instead of
- * re-running from zero.
+ * Checkpoint/resume for sweeps, built on the generic campaign journal
+ * (exp/campaign.hh): one flushed record per completed SimResult, keyed
+ * by the point's axis values, so the paper's hours-long system grids
+ * (Figs. 13-16, Tables 3-4 scale) survive crashes and restarts instead
+ * of re-running from zero.
  *
- * Journal format (`aero-checkpoint/1`), one JSON document per line:
- *
- *   {"schema":"aero-checkpoint/1","fingerprint":"<hex>","spec":{..}}
- *   {"fingerprint":"<hex>","result":{..toJson(SimResult)..}}
- *   ...
- *
- * The header pins the journal to one SweepSpec via a fingerprint over
- * the spec's canonical JSON plus the base drive's configuration
- * summary; every result record repeats the fingerprint so a record can
- * never be spliced into the wrong sweep. Records are keyed by their
- * *axis values* (workload, scheme, pec, ...), not by position, so a
- * journal written under any thread count resumes correctly under any
- * other.
- *
- * Crash tolerance: each record is one write() followed by a flush, so a
- * torn write leaves at most one partial final line. On open, the loader
- * parses each line with Json::parse, drops a malformed *tail record*
- * (warning, then truncates the file back to the last good record
- * before appending), and fails loudly on corruption anywhere else —
- * including a file whose first line is not a journal header (never
- * truncate a file the caller pointed us at by mistake) — and on any
- * fingerprint mismatch, naming the spec field that differs.
+ * SweepCheckpoint is a grid-indexed view over a CampaignJournal. It can
+ * *own* its journal (the `run_sweep --checkpoint` path: one journal,
+ * one sweep, campaign name "sweep") or *borrow* a bench-level journal
+ * shared with other campaign stages (fig16's lifetime tasks and two
+ * tail-latency sweeps all live in one journal, told apart by key
+ * prefixes). Either way, records are keyed by *axis values*, not
+ * position, so a journal written under any thread count resumes
+ * correctly under any other, and the resumed artifacts are
+ * byte-identical to an uninterrupted run (SimResult round-trips
+ * bit-exactly through the JSON serializer).
  */
 
 #ifndef AERO_EXP_CHECKPOINT_HH
 #define AERO_EXP_CHECKPOINT_HH
 
-#include <cstdio>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "exp/json.hh"
+#include "exp/campaign.hh"
 #include "exp/sweep.hh"
 
 namespace aero
@@ -47,18 +35,27 @@ class SweepCheckpoint
 {
   public:
     /**
-     * Open (or create) the journal at @p path for @p spec. An existing
-     * journal is validated (schema, fingerprint) and its records are
-     * loaded; a journal written for a different spec is fatal with a
-     * message naming the mismatching field.
+     * Open (or create) a journal at @p path owned by this checkpoint,
+     * under the campaign name "sweep" with configOf(@p spec) as the
+     * fingerprinted configuration. A journal written for a different
+     * spec is fatal with a message naming the mismatching field.
      */
     SweepCheckpoint(std::string path, const SweepSpec &spec);
-    ~SweepCheckpoint();
+
+    /**
+     * Attach to @p journal, already opened by the bench (which must
+     * have included this spec in the journal's fingerprinted config).
+     * @p keyPrefix namespaces this sweep's records so several stages —
+     * including several sweeps — can share one journal; give each
+     * sweep a distinct prefix.
+     */
+    SweepCheckpoint(CampaignJournal &journal, const SweepSpec &spec,
+                    Json keyPrefix = Json::object());
 
     SweepCheckpoint(const SweepCheckpoint &) = delete;
     SweepCheckpoint &operator=(const SweepCheckpoint &) = delete;
 
-    const std::string &path() const { return journalPath; }
+    const std::string &path() const { return journal->path(); }
 
     /** Number of grid points already journaled. */
     std::size_t cachedCount() const { return loadedCount; }
@@ -77,27 +74,24 @@ class SweepCheckpoint
     void record(const SimResult &result);
 
     /**
-     * Fingerprint of a spec: a hash over its canonical report JSON and
-     * the base drive's configuration summary, rendered as hex.
+     * Canonical journal config of a spec: its report JSON (axes,
+     * requests, capacity) plus the base drive's configuration summary,
+     * so resuming onto a reconfigured drive cannot silently splice
+     * stale rows.
      */
-    static std::string fingerprint(const SweepSpec &spec);
+    static Json configOf(const SweepSpec &spec);
 
   private:
     void load();
-    void loadHeader(const Json &row, std::size_t lineNo);
-    void loadRecord(const Json &row, std::size_t lineNo);
-    void openForAppend(std::uint64_t keepBytes, bool writeHeader);
-    void append(const Json &row);
+    Json keyOf(const SimPoint &pt) const;
 
-    std::string journalPath;
-    std::string fp;           //!< fingerprint of the owning spec
-    Json specJson;            //!< canonical spec JSON (header payload)
-    SweepSpec spec;           //!< owning grid (axis-value -> index)
+    std::unique_ptr<CampaignJournal> owned;  //!< null in borrowed mode
+    CampaignJournal *journal;
+    Json prefix;
+    SweepSpec spec;                  //!< owning grid (axis-value -> index)
     std::vector<SimResult> results;  //!< dense, expand()-indexed
     std::vector<char> present;       //!< results[i] is journaled
     std::size_t loadedCount = 0;
-    std::FILE *out = nullptr;
-    std::mutex writeMutex;
 };
 
 } // namespace aero

@@ -5,8 +5,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <map>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -621,6 +624,118 @@ DiffResult::table(std::size_t maxEntries) const
         out += detail::concat("... and ", deltas.size() - n,
                               " more\n");
     return out;
+}
+
+namespace
+{
+
+/** Is @p name a report artifact (.json / .csv, case-sensitive)? */
+bool
+isReportFile(const std::filesystem::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".json" || ext == ".csv";
+}
+
+/**
+ * Directory-relative paths of every report artifact under @p dir,
+ * sorted (generic '/' separators so A and B pair on any platform).
+ */
+std::vector<std::string>
+collectReportFiles(const std::filesystem::path &dir)
+{
+    std::vector<std::string> names;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file() || !isReportFile(entry.path()))
+            continue;
+        names.push_back(
+            entry.path().lexically_relative(dir).generic_string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+/** Read + parse one artifact; false (with @p error) on any failure. */
+bool
+loadReportFile(const std::filesystem::path &path, Json *out,
+               std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *error = detail::concat("cannot open '", path.string(), "'");
+        return false;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    if (in.bad()) {
+        *error = detail::concat("failed reading '", path.string(), "'");
+        return false;
+    }
+    if (path.extension() == ".csv") {
+        std::string csvError;
+        if (!csvToReport(content.str(), out, &csvError)) {
+            *error = detail::concat(path.string(), ": ", csvError);
+            return false;
+        }
+        return true;
+    }
+    Json::ParseError err;
+    if (!Json::parse(content.str(), out, &err)) {
+        *error =
+            detail::concat(path.string(), ": ", err.toString());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+DirDiffResult
+diffReportDirs(const std::string &dirA, const std::string &dirB,
+               const DiffOptions &opts)
+{
+    const std::filesystem::path a(dirA), b(dirB);
+    for (const auto &dir : {a, b}) {
+        if (!std::filesystem::is_directory(dir))
+            AERO_FATAL("'", dir.string(), "' is not a directory");
+    }
+    const auto filesA = collectReportFiles(a);
+    const auto filesB = collectReportFiles(b);
+
+    DirDiffResult result;
+    // Both lists are sorted: a single merge walk pairs files by name
+    // and classifies the one-sided leftovers.
+    std::size_t ia = 0, ib = 0;
+    while (ia < filesA.size() || ib < filesB.size()) {
+        if (ib >= filesB.size() ||
+            (ia < filesA.size() && filesA[ia] < filesB[ib])) {
+            result.onlyA.push_back(filesA[ia++]);
+            continue;
+        }
+        if (ia >= filesA.size() || filesB[ib] < filesA[ia]) {
+            result.onlyB.push_back(filesB[ib++]);
+            continue;
+        }
+        DirDiffFile file;
+        file.name = filesA[ia];
+        Json docA, docB;
+        std::string error;
+        if (!loadReportFile(a / filesA[ia], &docA, &error) ||
+            !loadReportFile(b / filesB[ib], &docB, &error)) {
+            file.error = error;
+            result.anyError = true;
+        } else {
+            file.loaded = true;
+            file.diff = diffReports(docA, docB, opts);
+            if (file.diff.match)
+                result.matched += 1;
+        }
+        result.compared.push_back(std::move(file));
+        ia += 1;
+        ib += 1;
+    }
+    return result;
 }
 
 } // namespace aero

@@ -108,6 +108,63 @@ Json csvToReport(const std::string &text);
  */
 bool csvToReport(const std::string &text, Json *out, std::string *error);
 
+/**
+ * @name Directory mode
+ * Diff two directories of report artifacts in one invocation: every
+ * `*.json` / `*.csv` file (recursively, by directory-relative path) is
+ * paired with its same-named counterpart and diffed with the usual
+ * rules; files present on only one side are reported as unpaired.
+ */
+/** @{ */
+
+/** Outcome of one paired file. */
+struct DirDiffFile
+{
+    std::string name;    //!< directory-relative path (both sides)
+    bool loaded = false; //!< both sides read + parsed
+    std::string error;   //!< load/parse failure (when !loaded)
+    DiffResult diff;     //!< valid when loaded
+};
+
+struct DirDiffResult
+{
+    std::vector<DirDiffFile> compared;  //!< paired files, sorted by name
+    std::vector<std::string> onlyA;     //!< report files missing in B
+    std::vector<std::string> onlyB;     //!< report files missing in A
+    std::size_t matched = 0;            //!< paired files with no deltas
+    bool anyError = false;  //!< unreadable/unparseable file somewhere
+
+    /** Every pair matched and nothing was unpaired or unreadable. */
+    bool
+    match() const
+    {
+        return !anyError && onlyA.empty() && onlyB.empty() &&
+               matched == compared.size();
+    }
+
+    /** The CLI contract: 0 match, 1 differ/unpaired, 2 error. */
+    int
+    exitCode() const
+    {
+        return anyError ? 2 : (match() ? 0 : 1);
+    }
+};
+
+/**
+ * Compare the report artifacts under @p dirA and @p dirB (see above).
+ * Fatal when either path is not a directory; per-file read/parse
+ * failures are reported in the result instead (anyError), so one bad
+ * artifact does not hide the rest of the tree's deltas. Tree-walk
+ * failures (an unreadable subdirectory) propagate as
+ * std::filesystem::filesystem_error — CLI callers map them to their
+ * error exit code.
+ */
+DirDiffResult diffReportDirs(const std::string &dirA,
+                             const std::string &dirB,
+                             const DiffOptions &opts = {});
+
+/** @} */
+
 } // namespace aero
 
 #endif // AERO_EXP_DIFF_HH

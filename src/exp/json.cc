@@ -584,6 +584,15 @@ Json::find(const std::string &key) const
     return nullptr;
 }
 
+const Json &
+Json::get(const std::string &key) const
+{
+    const Json *v = find(key);
+    if (!v)
+        AERO_FATAL("JSON object is missing '", key, "'");
+    return *v;
+}
+
 void
 Json::write(std::string &out, int indent, int depth) const
 {

@@ -88,6 +88,8 @@ class Json
     const std::pair<std::string, Json> &member(std::size_t i) const;
     /** Object member by key; nullptr when absent or not an object. */
     const Json *find(const std::string &key) const;
+    /** Object member by key; fatal when absent (for strict decoders). */
+    const Json &get(const std::string &key) const;
     bool contains(const std::string &key) const { return find(key); }
 
     /** Serialize; indent > 0 pretty-prints with that many spaces. */

@@ -55,4 +55,40 @@ computeExtendedStats(const Trace &trace, std::uint32_t page_kb)
     return s;
 }
 
+Json
+toJson(const ExtendedTraceStats &s)
+{
+    Json row = Json::object();
+    row["requests"] = static_cast<std::uint64_t>(s.basic.requests);
+    row["read_ratio"] = s.basic.readRatio;
+    row["avg_req_size_kb"] = s.basic.avgReqSizeKB;
+    row["avg_inter_arrival_ms"] = s.basic.avgInterArrivalMs;
+    row["max_page"] = s.basic.maxPage;
+    row["write_avg_size_kb"] = s.writeAvgSizeKB;
+    row["read_avg_size_kb"] = s.readAvgSizeKB;
+    row["hot_1pct_fraction"] = s.hot1pctFraction;
+    row["distinct_pages"] = s.distinctPages;
+    row["total_pages_accessed"] = s.totalPagesAccessed;
+    return row;
+}
+
+ExtendedTraceStats
+extendedStatsFromJson(const Json &row)
+{
+    ExtendedTraceStats s;
+    s.basic.requests =
+        static_cast<std::size_t>(row.get("requests").asUint64());
+    s.basic.readRatio = row.get("read_ratio").asDouble();
+    s.basic.avgReqSizeKB = row.get("avg_req_size_kb").asDouble();
+    s.basic.avgInterArrivalMs =
+        row.get("avg_inter_arrival_ms").asDouble();
+    s.basic.maxPage = row.get("max_page").asUint64();
+    s.writeAvgSizeKB = row.get("write_avg_size_kb").asDouble();
+    s.readAvgSizeKB = row.get("read_avg_size_kb").asDouble();
+    s.hot1pctFraction = row.get("hot_1pct_fraction").asDouble();
+    s.distinctPages = row.get("distinct_pages").asUint64();
+    s.totalPagesAccessed = row.get("total_pages_accessed").asUint64();
+    return s;
+}
+
 } // namespace aero

@@ -8,6 +8,7 @@
 #ifndef AERO_WORKLOAD_TRACE_STATS_HH
 #define AERO_WORKLOAD_TRACE_STATS_HH
 
+#include "exp/json.hh"
 #include "workload/trace.hh"
 
 namespace aero
@@ -27,6 +28,12 @@ struct ExtendedTraceStats
 
 ExtendedTraceStats computeExtendedStats(const Trace &trace,
                                         std::uint32_t page_kb);
+
+/** @name Campaign-journal codec (exact round trip, bit-for-bit). */
+/** @{ */
+Json toJson(const ExtendedTraceStats &s);
+ExtendedTraceStats extendedStatsFromJson(const Json &row);
+/** @} */
 
 } // namespace aero
 

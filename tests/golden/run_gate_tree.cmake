@@ -1,0 +1,71 @@
+# Whole-tree golden gate, one aero_diff invocation for all baselines:
+#
+#   cmake -DBENCH_DIR=<dir with bench binaries> -DDIFF=<aero_diff>
+#         -DGOLDEN=<tests/golden> -DOUT=<scratch dir> [-DREL_TOL=<tol>]
+#         -P run_gate_tree.cmake
+#
+# Regenerates every bench's --small artifact (one bench binary per
+# <name>.json baseline in GOLDEN) into OUT, then runs `aero_diff GOLDEN
+# OUT` in directory mode: every baseline is paired with its regenerated
+# counterpart, unpaired files fail the gate, and the per-metric delta
+# tables for every drifting bench land in one report. This is the
+# single-command CI gate; per-bench granularity stays available as the
+# golden.* CTest tests.
+#
+# To refresh the baselines after an intentional change:
+#   cmake --build build --target regen-golden
+
+foreach(required BENCH_DIR DIFF GOLDEN OUT)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "run_gate_tree.cmake needs -D${required}=...")
+    endif()
+endforeach()
+if(NOT DEFINED REL_TOL)
+    # Same default as run_gate.cmake: absorbs last-ulp libm differences
+    # in floating-point metrics while integer metrics compare exactly.
+    set(REL_TOL 1e-6)
+endif()
+
+# file(GLOB RELATIVE) needs absolute paths to behave; accept relative
+# arguments (resolved against the caller's working directory).
+foreach(pathvar BENCH_DIR DIFF GOLDEN OUT)
+    get_filename_component(${pathvar} "${${pathvar}}" ABSOLUTE)
+endforeach()
+
+file(REMOVE_RECURSE "${OUT}")
+file(MAKE_DIRECTORY "${OUT}")
+
+file(GLOB baselines RELATIVE "${GOLDEN}" "${GOLDEN}/*.json")
+if(NOT baselines)
+    message(FATAL_ERROR "no *.json baselines under '${GOLDEN}'")
+endif()
+list(SORT baselines)
+
+foreach(baseline IN LISTS baselines)
+    string(REPLACE ".json" "" bench "${baseline}")
+    set(bench_bin "${BENCH_DIR}/${bench}")
+    if(NOT EXISTS "${bench_bin}")
+        message(FATAL_ERROR
+            "baseline '${baseline}' has no bench binary at "
+            "'${bench_bin}' — build the bench target first")
+    endif()
+    execute_process(
+        COMMAND "${bench_bin}" --small --json "${OUT}/${baseline}"
+        RESULT_VARIABLE bench_rc
+        OUTPUT_QUIET)
+    if(NOT bench_rc EQUAL 0)
+        message(FATAL_ERROR "bench '${bench}' failed (exit ${bench_rc})")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${DIFF}" "${GOLDEN}" "${OUT}" --rel-tol "${REL_TOL}"
+    RESULT_VARIABLE diff_rc
+    OUTPUT_VARIABLE diff_out
+    ECHO_OUTPUT_VARIABLE)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "regenerated artifacts drifted from ${GOLDEN} "
+        "(aero_diff exit ${diff_rc}); if the change is intentional, "
+        "rebuild the baselines with the 'regen-golden' target")
+endif()

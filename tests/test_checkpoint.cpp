@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "devchar/experiments.hh"
+#include "exp/campaign.hh"
 #include "exp/checkpoint.hh"
 #include "exp/report.hh"
 #include "exp/sweep.hh"
@@ -219,7 +221,7 @@ TEST(CheckpointFingerprint, ChangedRequestsDiesNamingRequests)
     SweepSpec changed = spec;
     changed.requests = 2000;
     EXPECT_DEATH(SweepCheckpoint(path, changed),
-                 "different sweep spec.*requests");
+                 "different 'sweep' campaign.*requests: 1500 vs 2000");
 }
 
 TEST(CheckpointFingerprint, ChangedAxisDiesNamingAxis)
@@ -232,17 +234,17 @@ TEST(CheckpointFingerprint, ChangedAxisDiesNamingAxis)
     SweepSpec moreWorkloads = spec;
     moreWorkloads.workloads.push_back("usr");
     EXPECT_DEATH(SweepCheckpoint(path, moreWorkloads),
-                 "different sweep spec.*workloads");
+                 "different 'sweep' campaign.*workloads");
 
     SweepSpec otherSchemes = spec;
     otherSchemes.schemes = {SchemeKind::Baseline, SchemeKind::Dpes};
     EXPECT_DEATH(SweepCheckpoint(path, otherSchemes),
-                 "different sweep spec.*schemes");
+                 "different 'sweep' campaign.*schemes");
 
     SweepSpec otherSeeds = spec;
     otherSeeds.seeds = {11};
     EXPECT_DEATH(SweepCheckpoint(path, otherSeeds),
-                 "different sweep spec.*seeds");
+                 "different 'sweep' campaign.*seeds");
 }
 
 TEST(CheckpointFingerprint, WrongSchemaDies)
@@ -250,7 +252,7 @@ TEST(CheckpointFingerprint, WrongSchemaDies)
     const std::string path = tempJournal("not_a_journal.jsonl");
     writeFile(path, "{\"schema\":\"aero-sweep/1\",\"results\":[]}\n");
     EXPECT_DEATH(SweepCheckpoint(path, tinySpec()),
-                 "not an aero-checkpoint/1 journal");
+                 "not an aero-campaign/1 journal");
 }
 
 TEST(CheckpointFingerprint, NonJournalFileIsNeverTruncated)
@@ -262,7 +264,7 @@ TEST(CheckpointFingerprint, NonJournalFileIsNeverTruncated)
     const std::string contents = "my precious data, not a checkpoint";
     writeFile(path, contents);
     EXPECT_DEATH(SweepCheckpoint(path, tinySpec()),
-                 "not a sweep journal");
+                 "not a campaign journal");
     EXPECT_EQ(readFile(path), contents);
 }
 
@@ -301,7 +303,7 @@ TEST(CheckpointFingerprint, ForeignRecordFingerprintDies)
     forged[fpAt] = forged[fpAt] == '0' ? '1' : '0';
     writeFile(path, text + forged);
     EXPECT_DEATH(SweepCheckpoint(path, spec),
-                 "different sweep");
+                 "refusing to splice records from a different campaign");
 }
 
 // --------------------------------------------------------------------------
@@ -430,6 +432,296 @@ TEST(SimResultJson, MissingFieldDies)
             pruned[key] = value;
     }
     EXPECT_DEATH(simResultFromJson(pruned), "missing 'iops'");
+}
+
+// --------------------------------------------------------------------------
+// The generic campaign journal every checkpointed campaign sits on.
+// --------------------------------------------------------------------------
+
+Json
+campaignConfig(int chips = 4, int blocks = 8)
+{
+    Json config = Json::object();
+    config["num_chips"] = chips;
+    config["blocks_per_chip"] = blocks;
+    Json pecs = Json::array();
+    pecs.push(500.0);
+    pecs.push(2500.0);
+    config["pecs"] = std::move(pecs);
+    return config;
+}
+
+Json
+chipKey(int chip)
+{
+    Json key = Json::object();
+    key["chip"] = chip;
+    return key;
+}
+
+TEST(CampaignJournal, RecordsSurviveReopen)
+{
+    const std::string path = tempJournal("campaign_roundtrip.jsonl");
+    Json payload = Json::object();
+    payload["value"] = 0.1;  // must round-trip bit-for-bit
+    payload["count"] = std::uint64_t{18446744073709551615ull};
+    {
+        CampaignJournal journal(path, "unit-test", campaignConfig());
+        EXPECT_EQ(journal.cachedCount(), 0u);
+        EXPECT_FALSE(journal.has(chipKey(0)));
+        journal.record(chipKey(0), payload);
+        journal.record(chipKey(3), Json(true));
+        EXPECT_EQ(journal.cachedCount(), 2u);
+    }
+    CampaignJournal reopened(path, "unit-test", campaignConfig());
+    EXPECT_EQ(reopened.cachedCount(), 2u);
+    ASSERT_TRUE(reopened.has(chipKey(0)));
+    ASSERT_TRUE(reopened.has(chipKey(3)));
+    EXPECT_FALSE(reopened.has(chipKey(1)));
+    EXPECT_EQ(reopened.cached(chipKey(0)).dump(), payload.dump());
+    EXPECT_TRUE(reopened.cached(chipKey(3)).asBool());
+
+    std::size_t visited = 0;
+    reopened.forEachCached([&](const Json &key, const Json &) {
+        EXPECT_TRUE(key.contains("chip"));
+        visited += 1;
+    });
+    EXPECT_EQ(visited, 2u);
+}
+
+TEST(CampaignJournal, TornTailIsDroppedWithTheRestIntact)
+{
+    const std::string path = tempJournal("campaign_torn.jsonl");
+    {
+        CampaignJournal journal(path, "unit-test", campaignConfig());
+        for (int c = 0; c < 4; ++c)
+            journal.record(chipKey(c), Json(c));
+    }
+    tearTail(path, 9);  // mid-way through the chip-3 record
+    CampaignJournal resumed(path, "unit-test", campaignConfig());
+    EXPECT_EQ(resumed.cachedCount(), 3u);
+    EXPECT_TRUE(resumed.has(chipKey(2)));
+    EXPECT_FALSE(resumed.has(chipKey(3)));
+    // Appending after the truncation keeps the journal parseable.
+    resumed.record(chipKey(3), Json(3));
+    CampaignJournal again(path, "unit-test", campaignConfig());
+    EXPECT_EQ(again.cachedCount(), 4u);
+}
+
+TEST(CampaignJournal, RandomizedCrashPointsAlwaysResume)
+{
+    // Crash battery: truncate a full journal at arbitrary byte offsets
+    // (any of which a SIGKILL mid-write could produce) and require the
+    // loader to recover every intact record and never a corrupt one.
+    const std::string full = tempJournal("campaign_fuzz_full.jsonl");
+    std::vector<std::uint64_t> recordEnds;  // byte offset after line i
+    {
+        CampaignJournal journal(full, "unit-test", campaignConfig());
+        for (int c = 0; c < 6; ++c) {
+            Json payload = Json::object();
+            payload["mtbers"] = 2.5 + 0.125 * c;
+            journal.record(chipKey(c), payload);
+        }
+    }
+    const std::string text = readFile(full);
+    for (std::size_t pos = 0;
+         (pos = text.find('\n', pos)) != std::string::npos; ++pos)
+        recordEnds.push_back(pos + 1);
+    ASSERT_EQ(recordEnds.size(), 7u);  // header + 6 records
+
+    std::mt19937 rng(20260730);
+    for (int trial = 0; trial < 60; ++trial) {
+        // Any offset from just after the header to the full size.
+        const auto lo = recordEnds.front();
+        const std::uint64_t cut =
+            lo + rng() % (text.size() - lo + 1);
+        const std::string path = tempJournal("campaign_fuzz.jsonl");
+        writeFile(path, text.substr(0, cut));
+        CampaignJournal resumed(path, "unit-test", campaignConfig());
+        // Every record wholly before the cut must be recovered.
+        std::size_t wholeRecords = 0;
+        for (std::size_t i = 1; i < recordEnds.size(); ++i)
+            wholeRecords += recordEnds[i] <= cut ? 1 : 0;
+        EXPECT_EQ(resumed.cachedCount(), wholeRecords)
+            << "cut at byte " << cut;
+        for (std::size_t i = 0; i < wholeRecords; ++i) {
+            ASSERT_TRUE(resumed.has(chipKey(static_cast<int>(i))));
+            EXPECT_EQ(resumed.cached(chipKey(static_cast<int>(i)))
+                          .get("mtbers")
+                          .asDouble(),
+                      2.5 + 0.125 * static_cast<double>(i));
+        }
+    }
+}
+
+TEST(CampaignJournal, DuplicateKeysLastWins)
+{
+    const std::string path = tempJournal("campaign_dup.jsonl");
+    {
+        CampaignJournal journal(path, "unit-test", campaignConfig());
+        journal.record(chipKey(1), Json(1));
+        journal.record(chipKey(1), Json(2));
+        EXPECT_EQ(journal.cachedCount(), 1u);
+        EXPECT_EQ(journal.cached(chipKey(1)).asInt64(), 2);
+    }
+    CampaignJournal reopened(path, "unit-test", campaignConfig());
+    EXPECT_EQ(reopened.cachedCount(), 1u);
+    EXPECT_EQ(reopened.cached(chipKey(1)).asInt64(), 2);
+}
+
+TEST(CampaignJournalDeath, OtherCampaignsJournalIsRejected)
+{
+    const std::string path = tempJournal("campaign_wrong_name.jsonl");
+    {
+        CampaignJournal journal(path, "fig07_failbits_vs_tep",
+                                campaignConfig());
+    }
+    EXPECT_DEATH(CampaignJournal(path, "fig04_erase_latency_cdf",
+                                 campaignConfig()),
+                 "belongs to campaign 'fig07_failbits_vs_tep', "
+                 "expected 'fig04_erase_latency_cdf'");
+}
+
+TEST(CampaignJournalDeath, ChangedConfigDiesNamingTheNestedField)
+{
+    const std::string path = tempJournal("campaign_config.jsonl");
+    {
+        CampaignJournal journal(path, "unit-test", campaignConfig());
+    }
+    EXPECT_DEATH(CampaignJournal(path, "unit-test",
+                                 campaignConfig(/*chips=*/5)),
+                 "different 'unit-test' campaign.*num_chips: 4 vs 5");
+
+    // A mismatch inside a nested array names the element's path.
+    Json changed = campaignConfig();
+    Json pecs = Json::array();
+    pecs.push(500.0);
+    pecs.push(4500.0);
+    changed["pecs"] = std::move(pecs);
+    EXPECT_DEATH(
+        CampaignJournal(path, "unit-test", std::move(changed)),
+        "pecs\\[1\\]: 2500.0 vs 4500.0");
+}
+
+TEST(CampaignJournalDeath, MissingParentDirectoryNamesThePath)
+{
+    // Regression: a bad --checkpoint path must fail up front naming
+    // the path and the missing directory, not as a raw stream error
+    // after the campaign started.
+    EXPECT_DEATH(CampaignJournal("no/such/dir/journal.jsonl",
+                                 "unit-test", campaignConfig()),
+                 "cannot create checkpoint 'no/such/dir/journal.jsonl':"
+                 " parent directory 'no/such/dir' does not exist");
+}
+
+TEST(SweepCheckpointDeath, MissingParentDirectoryNamesThePath)
+{
+    EXPECT_DEATH(SweepCheckpoint("nowhere/at/all/ck.jsonl", tinySpec()),
+                 "parent directory 'nowhere/at/all' does not exist");
+}
+
+// --------------------------------------------------------------------------
+// Devchar campaign resume: the chip-sharded engine behind figs. 4-11 /
+// tab01 must reproduce its records bit-for-bit from a partial journal,
+// at any thread count.
+// --------------------------------------------------------------------------
+
+/** Canonical rendering of a Fig7 result for bit-exact comparison. */
+std::string
+fig7Fingerprint(const Fig7Data &data)
+{
+    Json doc = Json::object();
+    doc["gamma"] = data.gammaEstimate;
+    doc["delta"] = data.deltaEstimate;
+    Json rows = Json::array();
+    for (const auto &row : data.rows) {
+        Json r = Json::object();
+        r["n_ispe"] = row.nIspe;
+        Json maxes = Json::array();
+        Json means = Json::array();
+        Json counts = Json::array();
+        for (int i = 0; i < 8; ++i) {
+            maxes.push(row.maxFailByRemaining[i]);
+            means.push(row.meanFailByRemaining[i]);
+            counts.push(row.samples[i]);
+        }
+        r["max"] = std::move(maxes);
+        r["mean"] = std::move(means);
+        r["samples"] = std::move(counts);
+        rows.push(std::move(r));
+    }
+    doc["rows"] = std::move(rows);
+    return doc.dump();
+}
+
+TEST(DevcharCampaignResume, PartialJournalResumesBitIdentical)
+{
+    FarmConfig fc;
+    fc.numChips = 4;
+    fc.blocksPerChip = 6;
+    const std::vector<double> pecs = {1500.0, 3500.0};
+    const std::string reference =
+        fig7Fingerprint(runFig7Experiment(fc, pecs));
+
+    Json config = Json::object();
+    config["what"] = "fig7 resume test";
+    const std::string full = tempJournal("devchar_full.jsonl");
+    {
+        CampaignJournal journal(full, "fig7-test", config);
+        const std::string journaled = fig7Fingerprint(
+            runFig7Experiment(fc, pecs, {&journal}));
+        EXPECT_EQ(journaled, reference);
+        EXPECT_EQ(journal.cachedCount(),
+                  static_cast<std::size_t>(fc.numChips));
+    }
+    const std::string fullText = readFile(full);
+
+    // Resume from every truncation prefix (complete records and torn
+    // tails alike), across thread counts; the folded statistics must
+    // be byte-identical each time.
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::string path = tempJournal("devchar_part.jsonl");
+        const std::size_t header = fullText.find('\n') + 1;
+        const std::size_t cut =
+            header + rng() % (fullText.size() - header + 1);
+        writeFile(path, fullText.substr(0, cut));
+        const char *threads = trial % 2 ? "4" : "1";
+        setenv("AERO_SWEEP_THREADS", threads, 1);
+        CampaignJournal journal(path, "fig7-test", config);
+        const std::string resumed = fig7Fingerprint(
+            runFig7Experiment(fc, pecs, {&journal}));
+        unsetenv("AERO_SWEEP_THREADS");
+        EXPECT_EQ(resumed, reference)
+            << "cut at " << cut << ", " << threads << " threads";
+        EXPECT_EQ(journal.cachedCount(),
+                  static_cast<std::size_t>(fc.numChips));
+    }
+}
+
+TEST(DevcharCampaignResume, FullyJournaledRunRecomputesNothing)
+{
+    FarmConfig fc;
+    fc.numChips = 3;
+    fc.blocksPerChip = 4;
+    const std::vector<double> pecs = {2500.0};
+    Json config = Json::object();
+    config["what"] = "fig7 cache test";
+    const std::string path = tempJournal("devchar_cached.jsonl");
+    std::string reference;
+    {
+        CampaignJournal journal(path, "fig7-test", config);
+        reference =
+            fig7Fingerprint(runFig7Experiment(fc, pecs, {&journal}));
+    }
+    // A fully journaled campaign decodes instead of measuring: a farm
+    // with a *different seed* would measure different numbers, so a
+    // byte-identical result proves nothing was recomputed.
+    FarmConfig other = fc;
+    other.seed = fc.seed + 999;
+    CampaignJournal journal(path, "fig7-test", config);
+    EXPECT_EQ(fig7Fingerprint(runFig7Experiment(other, pecs, {&journal})),
+              reference);
 }
 
 } // namespace

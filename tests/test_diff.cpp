@@ -10,9 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <string>
 
+#include "common/logging.hh"
 #include "exp/diff.hh"
 
 namespace aero
@@ -510,6 +514,204 @@ TEST(DiffReports, TableListsEveryColumnAndTruncates)
     const std::string truncated = result.table(2);
     EXPECT_NE(truncated.find("and 1 more"), std::string::npos);
 }
+
+// --------------------------------------------------------------------------
+// Directory mode: pair *.json/*.csv files by relative path, diff each
+// pair, report unpaired files, and honor the 0/1/2 exit-code contract.
+// --------------------------------------------------------------------------
+
+/** A scratch A/B directory pair, deleted and recreated per test. */
+struct DirPair
+{
+    std::filesystem::path a, b;
+
+    explicit DirPair(const std::string &name)
+    {
+        const auto root =
+            std::filesystem::path(::testing::TempDir()) / name;
+        std::filesystem::remove_all(root);
+        a = root / "a";
+        b = root / "b";
+        std::filesystem::create_directories(a);
+        std::filesystem::create_directories(b);
+    }
+
+    void
+    write(const std::filesystem::path &rel, const std::string &content,
+          bool sideA, bool sideB) const
+    {
+        for (const auto &side : {sideA ? &a : nullptr,
+                                 sideB ? &b : nullptr}) {
+            if (!side)
+                continue;
+            const auto path = *side / rel;
+            std::filesystem::create_directories(path.parent_path());
+            std::ofstream out(path, std::ios::binary);
+            out << content;
+        }
+    }
+};
+
+std::string
+tinyReport(double iops)
+{
+    return detail::concat(
+        R"({"schema": "aero-devchar/1", "bench": "t", "axes": ["i"],)",
+        R"( "results": [{"i": 1, "iops": )", iops, "}]}");
+}
+
+TEST(DirDiff, MatchingTreesMatchIncludingNestedSubdirectories)
+{
+    const DirPair dirs("dirdiff_match");
+    dirs.write("r1.json", tinyReport(10.0), true, true);
+    dirs.write("nested/deep/r2.json", tinyReport(20.0), true, true);
+    dirs.write("rows.csv", "i,iops\n1,10\n", true, true);
+    dirs.write("README.txt", "not a report", true, false);  // ignored
+
+    const auto result =
+        diffReportDirs(dirs.a.string(), dirs.b.string());
+    EXPECT_TRUE(result.match());
+    EXPECT_EQ(result.exitCode(), 0);
+    ASSERT_EQ(result.compared.size(), 3u);
+    EXPECT_EQ(result.matched, 3u);
+    EXPECT_EQ(result.compared[0].name, "nested/deep/r2.json");
+    EXPECT_EQ(result.compared[1].name, "r1.json");
+    EXPECT_EQ(result.compared[2].name, "rows.csv");
+    EXPECT_TRUE(result.onlyA.empty());
+    EXPECT_TRUE(result.onlyB.empty());
+}
+
+TEST(DirDiff, OneSidedFilesAreUnpairedAndFailTheGate)
+{
+    const DirPair dirs("dirdiff_unpaired");
+    dirs.write("shared.json", tinyReport(1.0), true, true);
+    dirs.write("gone.json", tinyReport(2.0), true, false);
+    dirs.write("new.csv", "i,iops\n1,3\n", false, true);
+
+    const auto result =
+        diffReportDirs(dirs.a.string(), dirs.b.string());
+    EXPECT_FALSE(result.match());
+    EXPECT_EQ(result.exitCode(), 1);
+    EXPECT_EQ(result.compared.size(), 1u);
+    EXPECT_EQ(result.matched, 1u);
+    ASSERT_EQ(result.onlyA.size(), 1u);
+    EXPECT_EQ(result.onlyA[0], "gone.json");
+    ASSERT_EQ(result.onlyB.size(), 1u);
+    EXPECT_EQ(result.onlyB[0], "new.csv");
+}
+
+TEST(DirDiff, MixedJsonAndCsvPairsDiffThroughTheirOwnParsers)
+{
+    const DirPair dirs("dirdiff_mixed");
+    dirs.write("doc.json", tinyReport(10.0), true, true);
+    dirs.write("rows.csv", "i,iops\n1,10\n", true, false);
+    dirs.write("rows.csv", "i,iops\n1,11\n", false, true);
+
+    const auto result =
+        diffReportDirs(dirs.a.string(), dirs.b.string());
+    EXPECT_EQ(result.exitCode(), 1);
+    ASSERT_EQ(result.compared.size(), 2u);
+    EXPECT_TRUE(result.compared[0].diff.match) << "doc.json";
+    EXPECT_FALSE(result.compared[1].diff.match) << "rows.csv";
+    // The CSV delta rides the integer-exact comparison rules.
+    ASSERT_EQ(result.compared[1].diff.deltas.size(), 1u);
+    EXPECT_EQ(result.compared[1].diff.deltas[0].metric, "iops");
+}
+
+TEST(DirDiff, TolerancesApplyToEveryPairedFile)
+{
+    const DirPair dirs("dirdiff_tol");
+    const char *base = R"({"schema": "s", "axes": ["i"],
+        "results": [{"i": 1, "iops": 100.0}]})";
+    const char *drifted = R"({"schema": "s", "axes": ["i"],
+        "results": [{"i": 1, "iops": 100.00000001}]})";
+    dirs.write("r.json", base, true, false);
+    dirs.write("r.json", drifted, false, true);
+
+    EXPECT_EQ(diffReportDirs(dirs.a.string(), dirs.b.string())
+                  .exitCode(), 1);
+    DiffOptions tol;
+    tol.relTol = 1e-6;
+    const auto result =
+        diffReportDirs(dirs.a.string(), dirs.b.string(), tol);
+    EXPECT_EQ(result.exitCode(), 0);
+}
+
+TEST(DirDiff, UnparseableFileIsAnErrorButOthersStillCompare)
+{
+    const DirPair dirs("dirdiff_error");
+    dirs.write("ok.json", tinyReport(1.0), true, true);
+    dirs.write("bad.json", tinyReport(2.0), true, false);
+    dirs.write("bad.json", "{not json", false, true);
+
+    const auto result =
+        diffReportDirs(dirs.a.string(), dirs.b.string());
+    EXPECT_TRUE(result.anyError);
+    EXPECT_EQ(result.exitCode(), 2);
+    ASSERT_EQ(result.compared.size(), 2u);
+    EXPECT_FALSE(result.compared[0].loaded);
+    EXPECT_NE(result.compared[0].error.find("bad.json"),
+              std::string::npos);
+    EXPECT_TRUE(result.compared[1].loaded);
+    EXPECT_TRUE(result.compared[1].diff.match);
+}
+
+TEST(DirDiffDeath, NonDirectoryIsFatal)
+{
+    const DirPair dirs("dirdiff_nodir");
+    EXPECT_DEATH(diffReportDirs(dirs.a.string(), "/no/such/dir"),
+                 "not a directory");
+}
+
+// --------------------------------------------------------------------------
+// The exit-code contract via the installed CLI. AERO_DIFF_BIN is
+// injected by CMake when the aero_diff example target is built.
+// --------------------------------------------------------------------------
+
+#ifdef AERO_DIFF_BIN
+
+int
+runAeroDiff(const std::string &args)
+{
+    const std::string cmd = std::string(AERO_DIFF_BIN) + " " + args +
+                            " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WEXITSTATUS(status);
+}
+
+TEST(DirDiffCli, ExitCodeContract)
+{
+    const DirPair dirs("dirdiff_cli");
+    dirs.write("r.json", tinyReport(5.0), true, true);
+    dirs.write("sub/s.csv", "i,iops\n1,5\n", true, true);
+
+    // 0: matching trees.
+    EXPECT_EQ(runAeroDiff(dirs.a.string() + " " + dirs.b.string()), 0);
+
+    // 1: a metric drifted.
+    dirs.write("r.json", tinyReport(6.0), false, true);
+    EXPECT_EQ(runAeroDiff(dirs.a.string() + " " + dirs.b.string()), 1);
+
+    // 1: unpaired file (content otherwise identical again).
+    dirs.write("r.json", tinyReport(5.0), false, true);
+    dirs.write("extra.json", tinyReport(1.0), false, true);
+    EXPECT_EQ(runAeroDiff(dirs.a.string() + " " + dirs.b.string()), 1);
+    std::filesystem::remove(dirs.b / "extra.json");
+    EXPECT_EQ(runAeroDiff(dirs.a.string() + " " + dirs.b.string()), 0);
+
+    // 2: unparseable artifact.
+    dirs.write("r.json", "{broken", false, true);
+    EXPECT_EQ(runAeroDiff(dirs.a.string() + " " + dirs.b.string()), 2);
+
+    // 2: directory vs file.
+    EXPECT_EQ(runAeroDiff(dirs.a.string() + " " +
+                          (dirs.b / "sub/s.csv").string()), 2);
+
+    // 2: missing operand.
+    EXPECT_EQ(runAeroDiff(dirs.a.string()), 2);
+}
+
+#endif // AERO_DIFF_BIN
 
 } // namespace
 } // namespace aero

@@ -12,7 +12,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -325,6 +327,283 @@ TEST(JsonAccessors, FindContainsAtMember)
     EXPECT_EQ(rows.at(2).asInt64(), 3);
     EXPECT_EQ(doc.member(1).first, "rows");
     EXPECT_EQ(Json("scalar").size(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Randomized round-trip fuzzing: parse(dump(x)) == x over ~10k
+// generated documents covering deep nesting, the int64/uint64 edges,
+// surrogate-pair strings, and shortest-round-trip doubles. The campaign
+// journal and golden gate both lean on this exact-round-trip contract.
+// --------------------------------------------------------------------------
+
+/** Seeded generator of arbitrary Json values. */
+class JsonFuzzer
+{
+  public:
+    explicit JsonFuzzer(std::uint64_t seed) : rng(seed) {}
+
+    Json
+    value(int depth = 0)
+    {
+        // Containers get rarer with depth so documents terminate, but
+        // a dedicated branch still drives nesting to ~10 levels.
+        const int pick = depth >= 10
+            ? static_cast<int>(rng() % 6)
+            : static_cast<int>(rng() % 8);
+        switch (pick) {
+          case 0: return Json();
+          case 1: return Json(rng() % 2 == 0);
+          case 2: return integer();
+          case 3: return unsignedInteger();
+          case 4: return finiteDouble();
+          case 5: return Json(randomString());
+          case 6: return array(depth);
+          default: return object(depth);
+        }
+    }
+
+    Json
+    integer()
+    {
+        switch (rng() % 4) {
+          case 0:
+            return Json(std::numeric_limits<std::int64_t>::min());
+          case 1:
+            return Json(std::numeric_limits<std::int64_t>::max());
+          case 2:
+            return Json(static_cast<std::int64_t>(rng()) % 1000);
+          default:
+            return Json(static_cast<std::int64_t>(rng()));
+        }
+    }
+
+    Json
+    unsignedInteger()
+    {
+        if (rng() % 4 == 0)
+            return Json(std::numeric_limits<std::uint64_t>::max());
+        return Json(static_cast<std::uint64_t>(rng()));
+    }
+
+    Json
+    finiteDouble()
+    {
+        switch (rng() % 8) {
+          case 0: return Json(0.1);
+          case 1: return Json(1.0 / 3.0);
+          case 2: return Json(5e-324);   // smallest denormal
+          case 3: return Json(1.7976931348623157e308);
+          case 4: return Json(-0.0);
+          case 5: return Json(static_cast<double>(rng()) / 7.0);
+          default: {
+            // An arbitrary finite bit pattern: the hardest doubles
+            // for a shortest-round-trip serializer.
+            for (;;) {
+                std::uint64_t bits = rng();
+                double d;
+                std::memcpy(&d, &bits, sizeof(d));
+                if (std::isfinite(d))
+                    return Json(d);
+            }
+          }
+        }
+    }
+
+    std::string
+    randomString()
+    {
+        std::string out;
+        const std::size_t len = rng() % 12;
+        for (std::size_t i = 0; i < len; ++i) {
+            switch (rng() % 6) {
+              case 0:  // printable ASCII incl. quote/backslash
+                out.push_back(static_cast<char>(0x20 + rng() % 0x5f));
+                break;
+              case 1:  // control characters (escaped as \uXXXX)
+                out.push_back(static_cast<char>(rng() % 0x20));
+                break;
+              case 2:  // popular escapes
+                out += "\"\\\n\t";
+                break;
+              case 3:  // two-byte UTF-8 (U+0080..U+07FF)
+                appendUtf8(out, 0x80 + rng() % 0x780);
+                break;
+              case 4:  // three-byte UTF-8, surrogate range excluded
+                appendUtf8(out, 0x800 + rng() % (0xd800 - 0x800));
+                break;
+              default:  // astral plane: a surrogate pair when escaped
+                appendUtf8(out, 0x10000 + rng() % 0x10000);
+                break;
+            }
+        }
+        return out;
+    }
+
+  private:
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    Json
+    array(int depth)
+    {
+        Json arr = Json::array();
+        const std::size_t n = rng() % 5;
+        for (std::size_t i = 0; i < n; ++i)
+            arr.push(value(depth + 1));
+        return arr;
+    }
+
+    Json
+    object(int depth)
+    {
+        Json obj = Json::object();
+        const std::size_t n = rng() % 5;
+        for (std::size_t i = 0; i < n; ++i)
+            obj[randomString()] = value(depth + 1);
+        return obj;
+    }
+
+    std::mt19937_64 rng;
+};
+
+TEST(JsonFuzzRoundTrip, TenThousandRandomDocuments)
+{
+    JsonFuzzer fuzz(0xae20c0de2026ull);
+    for (int i = 0; i < 10000; ++i) {
+        const Json x = fuzz.value();
+        const std::string compact = x.dump();
+        const std::string pretty = x.dump(2);
+
+        Json fromCompact;
+        Json::ParseError err;
+        ASSERT_TRUE(Json::parse(compact, &fromCompact, &err))
+            << "case " << i << ": " << err.toString() << "\n"
+            << compact;
+        ASSERT_TRUE(fromCompact == x) << "case " << i << "\n" << compact;
+
+        Json fromPretty;
+        ASSERT_TRUE(Json::parse(pretty, &fromPretty, &err))
+            << "case " << i << ": " << err.toString();
+        ASSERT_TRUE(fromPretty == x) << "case " << i;
+
+        // The serializer is a fixed point after one round trip — the
+        // byte-identity property resumed artifacts rely on.
+        ASSERT_EQ(fromCompact.dump(), compact) << "case " << i;
+    }
+}
+
+TEST(JsonFuzzRoundTrip, DeeplyNestedDocumentsRoundTrip)
+{
+    // Straight-line nesting beyond what the random generator reaches:
+    // 100 levels of alternating arrays/objects, well under the
+    // parser's 256-depth limit.
+    Json leaf = Json(std::uint64_t{18446744073709551615ull});
+    for (int level = 0; level < 100; ++level) {
+        if (level % 2 == 0) {
+            Json arr = Json::array();
+            arr.push(std::move(leaf));
+            leaf = std::move(arr);
+        } else {
+            Json obj = Json::object();
+            obj["k"] = std::move(leaf);
+            leaf = std::move(obj);
+        }
+    }
+    const std::string text = leaf.dump();
+    Json back;
+    ASSERT_TRUE(Json::parse(text, &back, nullptr));
+    EXPECT_TRUE(back == leaf);
+    EXPECT_EQ(back.dump(), text);
+}
+
+TEST(JsonFuzzRoundTrip, RandomizedMalformedInputsReportPositions)
+{
+    // Mutate valid documents at random byte positions; whatever the
+    // parser rejects must carry a position inside the input (1-based
+    // line/column, offset within [0, size]).
+    JsonFuzzer fuzz(0x5eed);
+    std::mt19937_64 rng(99);
+    const char junk[] = {'#', '}', ']', ',', ':', '"', '\\', '\x01'};
+    int rejected = 0;
+    for (int i = 0; i < 2000; ++i) {
+        std::string text = fuzz.value().dump();
+        if (text.empty())
+            continue;
+        const std::size_t pos = rng() % text.size();
+        text[pos] = junk[rng() % sizeof(junk)];
+        Json out;
+        Json::ParseError err;
+        if (Json::parse(text, &out, &err))
+            continue;  // some mutations stay valid JSON
+        rejected += 1;
+        EXPECT_GE(err.line, 1u) << text;
+        EXPECT_GE(err.column, 1u) << text;
+        EXPECT_LE(err.offset, text.size()) << text;
+        EXPECT_TRUE(out.isNull());
+        EXPECT_FALSE(err.toString().empty());
+    }
+    EXPECT_GT(rejected, 500);  // the mutator must actually bite
+}
+
+TEST(JsonParseErrors, MalformedCorpusPinsExactLineAndColumn)
+{
+    // A curated malformed corpus with hand-checked 1-based positions —
+    // multi-line documents, truncated escapes, bad unicode, trailing
+    // garbage — pinning the error-position contract precisely.
+    struct Case
+    {
+        const char *text;
+        std::size_t line;
+        std::size_t column;
+    };
+    const Case cases[] = {
+        {"", 1, 1},                      // empty input
+        {"{", 1, 2},                     // unterminated object
+        {"[1,]", 1, 4},                  // trailing comma
+        {"{\"a\":1,}", 1, 8},            // trailing comma in object
+        {"[1 2]", 1, 4},                 // missing comma
+        {"{\"a\" 1}", 1, 6},             // missing colon
+        {"tru", 1, 1},                   // truncated literal
+        {"01", 1, 2},                    // leading zero
+        {"1e", 1, 3},                    // truncated exponent
+        {"\"\\x\"", 1, 3},               // unknown escape
+        {"\"\\u12G4\"", 1, 6},           // bad unicode escape digit
+        {"\"\\ud800\"", 1, 8},           // lone high surrogate
+        {"\"abc", 1, 5},                 // unterminated string
+        {"[1,\n2,\n3,]", 3, 3},          // error on line 3
+        {"{\n  \"a\": 1,\n  \"b\" 2\n}", 3, 7},  // line 3 colon
+        {"[\"ok\"] junk", 1, 8},         // trailing garbage
+        {"[1]\n[2]", 2, 1},              // second document
+        {"{\"a\":\n\tnul}", 2, 2},       // bad literal after tab
+    };
+    for (const auto &c : cases) {
+        Json out;
+        Json::ParseError err;
+        ASSERT_FALSE(Json::parse(c.text, &out, &err))
+            << "'" << c.text << "' unexpectedly parsed";
+        EXPECT_EQ(err.line, c.line) << "'" << c.text << "': "
+                                    << err.toString();
+        EXPECT_EQ(err.column, c.column)
+            << "'" << c.text << "': " << err.toString();
+    }
 }
 
 } // namespace
