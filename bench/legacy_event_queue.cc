@@ -1,0 +1,43 @@
+#include "legacy_event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace aero::legacy
+{
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    AERO_CHECK(when >= currentTick, "scheduling into the past: ", when,
+               " < ", currentTick);
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+void
+EventQueue::run(Tick until)
+{
+    while (!events.empty() && events.top().when <= until) {
+        if (!step())
+            break;
+    }
+    if (currentTick < until && until != kTickMax)
+        currentTick = until;
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    // priority_queue::top returns const ref; the const_cast move is safe
+    // because the element is popped immediately after.
+    Event ev = std::move(const_cast<Event &>(events.top()));
+    events.pop();
+    AERO_CHECK(ev.when >= currentTick, "event queue time went backwards");
+    currentTick = ev.when;
+    ++processedCount;
+    ev.cb();
+    return true;
+}
+
+} // namespace aero::legacy

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The pre-tagged simulation kernel, preserved verbatim (namespace aside)
+ * as the measurement reference for bench_kernel's speedup rows: a
+ * std::priority_queue of events each carrying a type-erased
+ * std::function callback. Compiled as its own translation unit with the
+ * same flags as the library, so the comparison reproduces the original
+ * call-boundary costs instead of flattering either side. Not part of
+ * the library — nothing outside bench_kernel may use it.
+ */
+
+#ifndef AERO_BENCH_LEGACY_EVENT_QUEUE_HH
+#define AERO_BENCH_LEGACY_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace aero::legacy
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return currentTick; }
+
+    bool empty() const { return events.empty(); }
+    std::size_t pending() const { return events.size(); }
+    std::uint64_t processed() const { return processedCount; }
+
+    /** Schedule `cb` to run `delay` ticks from now. */
+    void
+    schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(currentTick + delay, std::move(cb));
+    }
+
+    /** Schedule `cb` at an absolute tick (must not be in the past). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** Run until the queue drains or `until` is reached. */
+    void run(Tick until = kTickMax);
+
+    /** Process exactly one event; returns false if the queue is empty. */
+    bool step();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t processedCount = 0;
+};
+
+} // namespace aero::legacy
+
+#endif // AERO_BENCH_LEGACY_EVENT_QUEUE_HH

@@ -197,7 +197,10 @@ main(int argc, char **argv)
         progress ? stderrProgress() : SweepRunner::Progress{};
     std::vector<SimResult> results;
     if (!checkpoint_path.empty()) {
-        SweepCheckpoint checkpoint(checkpoint_path, spec);
+        // Journal under this driver's bench-style name so the artifact
+        // self-identifies like a BENCH_*.json (and cannot be spliced
+        // into another driver's campaign by accident).
+        SweepCheckpoint checkpoint(checkpoint_path, spec, "run_sweep");
         if (checkpoint.cachedCount() > 0) {
             std::printf("checkpoint: resuming %zu/%zu points from %s\n",
                         checkpoint.cachedCount(), spec.size(),

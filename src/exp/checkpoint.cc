@@ -53,8 +53,10 @@ SweepCheckpoint::configOf(const SweepSpec &spec)
     return config;
 }
 
-SweepCheckpoint::SweepCheckpoint(std::string path, const SweepSpec &owner)
-    : owned(std::make_unique<CampaignJournal>(std::move(path), "sweep",
+SweepCheckpoint::SweepCheckpoint(std::string path, const SweepSpec &owner,
+                                 std::string campaignName)
+    : owned(std::make_unique<CampaignJournal>(std::move(path),
+                                              std::move(campaignName),
                                               configOf(owner))),
       journal(owned.get()), prefix(Json::object()), spec(owner)
 {

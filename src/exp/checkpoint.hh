@@ -36,11 +36,15 @@ class SweepCheckpoint
   public:
     /**
      * Open (or create) a journal at @p path owned by this checkpoint,
-     * under the campaign name "sweep" with configOf(@p spec) as the
-     * fingerprinted configuration. A journal written for a different
-     * spec is fatal with a message naming the mismatching field.
+     * under @p campaignName (default "sweep") with configOf(@p spec) as
+     * the fingerprinted configuration. A journal written for a
+     * different spec — or under a different campaign name — is fatal
+     * with a message naming the mismatch. Drivers that publish their
+     * journal as an artifact (run_sweep) pass their bench-style name so
+     * the journal self-identifies like a BENCH_*.json does.
      */
-    SweepCheckpoint(std::string path, const SweepSpec &spec);
+    SweepCheckpoint(std::string path, const SweepSpec &spec,
+                    std::string campaignName = "sweep");
 
     /**
      * Attach to @p journal, already opened by the bench (which must

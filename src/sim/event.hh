@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The simulation kernel's event vocabulary: a small closed set of POD
+ * event kinds, dispatched by switch in EventQueue::step() instead of
+ * through type-erased callbacks. Every hot-path event the simulator
+ * schedules — page-op completions, erase-segment completions, suspension
+ * quiesce, host-overhead completions, trace admission — is one tagged
+ * arena slot: no per-event heap allocation, no std::function indirection.
+ * A `Callback` kind keeps the old `schedule(Tick, std::function)` surface
+ * alive for tests and examples (that path still heap-allocates its
+ * closure, deliberately — it is the compatibility lane, not the hot one).
+ *
+ * PageOp lives here rather than in ssd/chip_agent.hh because completion
+ * events carry one by value; the SSD layer re-exports it via its usual
+ * headers.
+ */
+
+#ifndef AERO_SIM_EVENT_HH
+#define AERO_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace aero
+{
+
+class ChipAgent;
+class Ftl;
+struct GcJob;
+struct TracePump;
+
+constexpr std::uint64_t kNoRequest = ~0ULL;
+
+struct PageOp
+{
+    enum class Kind : std::uint8_t { UserRead, UserWrite, GcRead, GcWrite };
+
+    Kind kind = Kind::UserRead;
+    Lpn lpn = kInvalidLpn;
+    Ppn ppn = kInvalidPpn;
+    std::uint64_t requestId = kNoRequest;
+    GcJob *job = nullptr;
+    Tick tprog = 0;   //!< program latency (scheme-dependent, writes only)
+};
+
+/** The closed set of event kinds the kernel can dispatch. */
+enum class EventKind : std::uint8_t
+{
+    Dead = 0,          //!< free or cancelled arena slot; never dispatched
+    Callback,          //!< compat lane: heap-allocated std::function
+    Timer,             //!< free function + context pointer
+    ChipOpComplete,    //!< a page read/write finished on a chip
+    EraseSegmentDone,  //!< an erase segment (or resumed remainder) ended
+    SuspendQuiesced,   //!< erase-suspension entry latency elapsed
+    HostPageDone,      //!< host-overhead-only page completion
+    TraceAdmit,        //!< trace pump: admit the next due request burst
+};
+
+/**
+ * Handle to a scheduled event: arena slot plus generation. The
+ * generation is bumped whenever a slot is cancelled or fires, so a stale
+ * handle can never cancel the slot's next occupant — cancelling an event
+ * that already fired is a harmless no-op returning false. This replaces
+ * the per-agent version-counter idiom the std::function kernel needed.
+ */
+struct EventId
+{
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    std::uint32_t slot = kNoSlot;
+    std::uint32_t gen = 0;
+
+    explicit operator bool() const { return slot != kNoSlot; }
+};
+
+/**
+ * One arena slot: heap links, ordering key, tag, and a two-word payload
+ * union — exactly one cache line, so heap reordering never touches a
+ * second one. Events are stored in EventQueue's chunked arena and linked
+ * into an intrusive pairing heap; `sibling` doubles as the freelist
+ * link. The one fat payload (the PageOp a ChipOpComplete carries) lives
+ * in a parallel per-slot arena in EventQueue, written at schedule time
+ * and read back once at dispatch; keeping it out of the union is what
+ * holds the node to 64 bytes.
+ */
+struct Event
+{
+    struct TimerPayload
+    {
+        void (*fn)(void *);
+        void *ctx;
+    };
+
+    struct AgentPayload
+    {
+        ChipAgent *agent;
+    };
+
+    struct HostPagePayload
+    {
+        Ftl *ftl;
+        std::uint64_t requestId;
+    };
+
+    struct PumpPayload
+    {
+        TracePump *pump;
+    };
+
+    union Payload
+    {
+        Payload() : cb(nullptr) {}
+
+        std::function<void()> *cb;  //!< Callback (compat lane, owned)
+        TimerPayload timer;         //!< Timer
+        AgentPayload agent;         //!< ChipOpComplete / EraseSegmentDone
+                                    //!< / SuspendQuiesced
+        HostPagePayload hostPage;   //!< HostPageDone
+        PumpPayload pump;           //!< TraceAdmit
+    };
+
+    Tick when = 0;
+    std::uint64_t seq = 0;       //!< schedule order; breaks same-tick ties
+    Event *child = nullptr;      //!< pairing heap: first child
+    Event *sibling = nullptr;    //!< pairing heap: next sibling / freelist
+    std::uint32_t slot = 0;      //!< arena index (fixed for this slot)
+    std::uint32_t gen = 0;       //!< validates EventIds against reuse
+    EventKind kind = EventKind::Dead;
+    Payload payload;
+};
+
+static_assert(sizeof(Event) <= 64,
+              "Event outgrew a cache line; move fat payloads to the "
+              "EventQueue side arena like PageOp");
+
+} // namespace aero
+
+#endif // AERO_SIM_EVENT_HH

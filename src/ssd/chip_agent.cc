@@ -30,7 +30,7 @@ ChipAgent::queuedOps() const
 }
 
 void
-ChipAgent::enqueue(const PageOp &op)
+ChipAgent::push(const PageOp &op)
 {
     switch (op.kind) {
       case PageOp::Kind::UserRead:
@@ -41,7 +41,10 @@ ChipAgent::enqueue(const PageOp &op)
             cfg.suspension == SuspensionMode::MidSegment &&
             erase && !erase->paused &&
             erase->suspensionsThisOp < kMaxSuspensionsPerOp) {
-            ++version;  // cancel the scheduled segment completion
+            // Invalidate the scheduled segment completion.
+            const bool cancelled = eq.cancel(pendingOp);
+            AERO_CHECK(cancelled,
+                       "suspension found no pending segment event");
             erase->paused = true;
             erase->pausedRemaining = opEnd - eq.now();
             erase->suspensionsThisOp += 1;
@@ -49,13 +52,7 @@ ChipAgent::enqueue(const PageOp &op)
             inEraseSegment = false;
             // The chip stays busy while the erase voltage quiesces.
             opEnd = eq.now() + cfg.suspendEntryLatency;
-            const auto v = version;
-            eq.scheduleAt(opEnd, [this, v] {
-                if (v != version)
-                    return;
-                busy = false;
-                dispatch();
-            });
+            pendingOp = eq.scheduleSuspendQuiesceAt(opEnd, *this);
         }
         break;
       case PageOp::Kind::UserWrite:
@@ -66,7 +63,19 @@ ChipAgent::enqueue(const PageOp &op)
         gcQ.push_back(op);
         break;
     }
+}
+
+void
+ChipAgent::enqueue(const PageOp &op)
+{
+    push(op);
     dispatch();
+}
+
+void
+ChipAgent::enqueueDeferred(const PageOp &op)
+{
+    push(op);
 }
 
 void
@@ -137,8 +146,7 @@ ChipAgent::startRead(PageOp op)
     const Tick end = xfer_start + cfg.channelXferPerPage;
     channel.busyUntil = end;
     opEnd = end;
-    const auto v = version;
-    eq.scheduleAt(end, [this, v, op] { completeOp(v, op); });
+    pendingOp = eq.scheduleChipOpAt(end, *this, op);
 }
 
 void
@@ -152,17 +160,30 @@ ChipAgent::startWrite(PageOp op)
     const Tick tprog = op.tprog ? op.tprog : nand.params().tProg;
     const Tick end = xfer_end + tprog;
     opEnd = end;
-    const auto v = version;
-    eq.scheduleAt(end, [this, v, op] { completeOp(v, op); });
+    pendingOp = eq.scheduleChipOpAt(end, *this, op);
 }
 
 void
-ChipAgent::completeOp(std::uint64_t v, PageOp op)
+ChipAgent::onChipOpComplete(const PageOp &op)
 {
-    if (v != version)
-        return;  // stale (should not happen for page ops)
+    pendingOp = EventId{};
     busy = false;
     ftl.onPageOpDone(op);
+    dispatch();
+}
+
+void
+ChipAgent::onEraseSegmentDone()
+{
+    pendingOp = EventId{};
+    finishEraseSegment();
+}
+
+void
+ChipAgent::onSuspendQuiesced()
+{
+    pendingOp = EventId{};
+    busy = false;
     dispatch();
 }
 
@@ -186,12 +207,7 @@ ChipAgent::startEraseWork()
     inEraseSegment = true;
     opEnd = eq.now() + erase->seg.duration;
     metrics.eraseBusyTime += erase->seg.duration;
-    const auto v = version;
-    eq.scheduleAt(opEnd, [this, v] {
-        if (v != version)
-            return;  // segment was suspended
-        finishEraseSegment();
-    });
+    pendingOp = eq.scheduleEraseSegmentAt(opEnd, *this);
 }
 
 void
@@ -204,12 +220,7 @@ ChipAgent::resumeErase()
     const Tick dur = cfg.suspendResumeOverhead + erase->pausedRemaining;
     opEnd = eq.now() + dur;
     metrics.eraseBusyTime += cfg.suspendResumeOverhead;
-    const auto v = version;
-    eq.scheduleAt(opEnd, [this, v] {
-        if (v != version)
-            return;
-        finishEraseSegment();
-    });
+    pendingOp = eq.scheduleEraseSegmentAt(opEnd, *this);
 }
 
 void

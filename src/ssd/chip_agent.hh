@@ -15,6 +15,10 @@
  * limited (kMaxSuspensionsPerOp, default 1): once exhausted, later reads
  * wait for the whole remaining operation -- which is exactly why AERO's
  * shorter erase operations shrink the read tail (Figs. 14/15).
+ *
+ * Completions are tagged kernel events (sim/event.hh) carrying this
+ * agent; suspension cancels the in-flight segment event explicitly
+ * through its EventId instead of the old version-counter idiom.
  */
 
 #ifndef AERO_SSD_CHIP_AGENT_HH
@@ -32,20 +36,6 @@
 
 namespace aero
 {
-
-constexpr std::uint64_t kNoRequest = ~0ULL;
-
-struct PageOp
-{
-    enum class Kind : std::uint8_t { UserRead, UserWrite, GcRead, GcWrite };
-
-    Kind kind = Kind::UserRead;
-    Lpn lpn = kInvalidLpn;
-    Ppn ppn = kInvalidPpn;
-    std::uint64_t requestId = kNoRequest;
-    GcJob *job = nullptr;
-    Tick tprog = 0;   //!< program latency (scheme-dependent, writes only)
-};
 
 /** Shared channel bus: serializes page transfers of its chips. */
 struct Channel
@@ -73,6 +63,15 @@ class ChipAgent
               FtlCallbacks &ftl, SsdMetrics &metrics);
 
     void enqueue(const PageOp &op);
+
+    /**
+     * Burst admission: queue the op (including any suspension side
+     * effect) without a dispatch pass. The caller must flush() after the
+     * burst — one dispatch per touched agent instead of one per page.
+     */
+    void enqueueDeferred(const PageOp &op);
+    void flush() { dispatch(); }
+
     void enqueueErase(BlockId block, GcJob *job);
 
     bool idle() const;
@@ -82,6 +81,8 @@ class ChipAgent
     static constexpr int kMaxSuspensionsPerOp = 2;
 
   private:
+    friend class EventQueue;  //!< tagged-event dispatch entry points
+
     struct ActiveErase
     {
         std::unique_ptr<EraseSession> session;
@@ -93,13 +94,20 @@ class ChipAgent
         int suspensionsThisOp = 0;
     };
 
+    void push(const PageOp &op);
     void dispatch();
     void startRead(PageOp op);
     void startWrite(PageOp op);
     void startEraseWork();
     void resumeErase();
     void finishEraseSegment();
-    void completeOp(std::uint64_t v, PageOp op);
+
+    /** @name Kernel dispatch targets (EventQueue::step() switch) */
+    /** @{ */
+    void onChipOpComplete(const PageOp &op);
+    void onEraseSegmentDone();
+    void onSuspendQuiesced();
+    /** @} */
 
     int chipIdx;
     NandChip &nand;
@@ -119,7 +127,7 @@ class ChipAgent
     bool busy = false;
     bool inEraseSegment = false;
     Tick opEnd = 0;
-    std::uint64_t version = 0;  //!< cancels stale completion events
+    EventId pendingOp;  //!< completion event of the op in flight
 };
 
 } // namespace aero

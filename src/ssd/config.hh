@@ -62,6 +62,7 @@ struct SsdConfig
     Tick suspendResumeOverhead = 100 * kUs;
     int gcLowWatermark = 3;    //!< free blocks/plane that trigger GC
     int gcHighWatermark = 5;   //!< free blocks/plane where GC stops
+    std::string gcPolicy = "greedy";  //!< victim selection (ssd/gc.hh)
     /** @} */
 
     /** @name Conditioning */

@@ -33,6 +33,9 @@ Ftl::Ftl(const SsdConfig &cfg_, EventQueue &eq_)
     }
     gcJobs.resize(static_cast<std::size_t>(cfg.totalChips()) *
                   cfg.geometry.planes);
+    gcPolicy = makeGcPolicy(cfg.gcPolicy);
+    burstTouched.assign(cfg.totalChips(), 0);
+    burstChips.reserve(cfg.totalChips());
 }
 
 Ftl::~Ftl() = default;
@@ -137,7 +140,7 @@ Ftl::functionalGc(int chip, int plane)
     // Inline, timing-free GC used only during warmup.
     while (blocks.freeBlocks(chip, plane) <= cfg.gcLowWatermark) {
         const BlockId victim =
-            GreedyGcPolicy::pickVictim(mapping, blocks, chip, plane);
+            gcPolicy->pickVictim(mapping, blocks, chip, plane);
         if (victim == kInvalidBlock)
             return;
         if (mapping.validPages(chip, victim) >=
@@ -171,27 +174,37 @@ Ftl::submit(const TraceRecord &rec)
 {
     const std::uint64_t id = nextRequestId++;
     inflight.emplace(id, InflightRequest{rec.op, eq.now(), rec.pages});
+    if (rec.op == IoOp::Read) {
+        // Reads are side-effect free at admission, so a multi-page
+        // request queues as a burst: one dispatch pass per touched chip
+        // instead of one per page. Writes keep per-page dispatch — a
+        // write can trip the GC watermark and enqueue an urgent erase,
+        // which must see the queues exactly as sequential admission
+        // would leave them.
+        for (std::uint32_t i = 0; i < rec.pages; ++i) {
+            const Lpn lpn = (rec.startPage + i) % mapping.logicalPages();
+            submitReadPage(lpn, id, true);
+        }
+        flushReadBurst();
+        return;
+    }
     for (std::uint32_t i = 0; i < rec.pages; ++i) {
         const Lpn lpn = (rec.startPage + i) % mapping.logicalPages();
-        if (rec.op == IoOp::Read) {
-            submitReadPage(lpn, id);
-        } else {
-            if (!submitWritePage(lpn, id))
-                stalledWrites.push_back(StalledWrite{lpn, id});
-        }
+        if (!submitWritePage(lpn, id))
+            stalledWrites.push_back(StalledWrite{lpn, id});
     }
 }
 
 void
-Ftl::submitReadPage(Lpn lpn, std::uint64_t request_id)
+Ftl::submitReadPage(Lpn lpn, std::uint64_t request_id, bool burst)
 {
     const Ppn ppn = mapping.lookup(lpn);
     if (ppn == kInvalidPpn) {
         // Never-written page: the controller answers from the mapping
         // table without touching flash.
         stats.unmappedReads += 1;
-        eq.schedule(cfg.hostOverhead,
-                    [this, request_id] { completeRequestPage(request_id); });
+        eq.scheduleHostPageAt(eq.now() + cfg.hostOverhead, *this,
+                              request_id);
         return;
     }
     const auto parts = mapping.decode(ppn);
@@ -200,7 +213,27 @@ Ftl::submitReadPage(Lpn lpn, std::uint64_t request_id)
     op.lpn = lpn;
     op.ppn = ppn;
     op.requestId = request_id;
-    agents[parts.chip]->enqueue(op);
+    if (!burst) {
+        agents[parts.chip]->enqueue(op);
+        return;
+    }
+    if (!burstTouched[parts.chip]) {
+        burstTouched[parts.chip] = 1;
+        burstChips.push_back(parts.chip);
+    }
+    agents[parts.chip]->enqueueDeferred(op);
+}
+
+void
+Ftl::flushReadBurst()
+{
+    // First-touch order keeps channel reservations identical to the
+    // page-at-a-time admission this replaced.
+    for (const int chip : burstChips) {
+        burstTouched[chip] = 0;
+        agents[chip]->flush();
+    }
+    burstChips.clear();
 }
 
 bool
@@ -250,6 +283,12 @@ Ftl::completeRequestPage(std::uint64_t request_id)
         }
         inflight.erase(it);
     }
+}
+
+void
+Ftl::onHostPageDone(std::uint64_t request_id)
+{
+    completeRequestPage(request_id);
 }
 
 void
@@ -315,7 +354,7 @@ Ftl::maybeStartGc(int chip, int plane)
     if (slot)
         return;  // a job is already running on this plane
     const BlockId victim =
-        GreedyGcPolicy::pickVictim(mapping, blocks, chip, plane);
+        gcPolicy->pickVictim(mapping, blocks, chip, plane);
     if (victim == kInvalidBlock)
         return;
     slot = std::make_unique<GcJob>();

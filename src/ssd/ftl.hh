@@ -67,6 +67,8 @@ class Ftl : public FtlCallbacks
     /** @} */
 
   private:
+    friend class EventQueue;  //!< tagged-event dispatch entry point
+
     struct InflightRequest
     {
         IoOp op;
@@ -80,12 +82,17 @@ class Ftl : public FtlCallbacks
         std::uint64_t requestId;
     };
 
-    void submitReadPage(Lpn lpn, std::uint64_t request_id);
+    void submitReadPage(Lpn lpn, std::uint64_t request_id,
+                        bool burst = false);
+    /** Dispatch every agent the current read burst touched, in order. */
+    void flushReadBurst();
     /** @return false if no plane had space (write stalled). */
     bool submitWritePage(Lpn lpn, std::uint64_t request_id);
     void functionalGc(int chip, int plane);
     void issueGcWrite(GcJob *job, Lpn lpn);
     void completeRequestPage(std::uint64_t request_id);
+    /** Kernel dispatch target: host-overhead completion fired. */
+    void onHostPageDone(std::uint64_t request_id);
     void maybeStartGc(int chip, int plane);
     void gcStep(GcJob *job);
     void retryStalledWrites();
@@ -101,6 +108,13 @@ class Ftl : public FtlCallbacks
     PageMapping mapping;
     BlockManager blocks;
     SsdMetrics stats;
+    std::unique_ptr<GcPolicy> gcPolicy;
+
+    /** @name Read-burst admission scratch (see flushReadBurst) */
+    /** @{ */
+    std::vector<int> burstChips;     //!< chips touched, in first-touch order
+    std::vector<char> burstTouched;  //!< per-chip membership flag
+    /** @} */
 
     std::unordered_map<std::uint64_t, InflightRequest> inflight;
     std::uint64_t nextRequestId = 1;

@@ -1,11 +1,14 @@
 #include "ssd/gc.hh"
 
+#include "common/logging.hh"
+
 namespace aero
 {
 
 BlockId
 GreedyGcPolicy::pickVictim(const PageMapping &mapping,
-                           const BlockManager &blocks, int chip, int plane)
+                           const BlockManager &blocks, int chip,
+                           int plane) const
 {
     BlockId best = kInvalidBlock;
     int best_valid = 0x7fffffff;
@@ -17,6 +20,37 @@ GreedyGcPolicy::pickVictim(const PageMapping &mapping,
         }
     }
     return best;
+}
+
+BlockId
+FifoGcPolicy::pickVictim(const PageMapping &mapping,
+                         const BlockManager &blocks, int chip,
+                         int plane) const
+{
+    (void)mapping;
+    BlockId best = kInvalidBlock;
+    for (const BlockId b : blocks.fullBlocks(chip, plane)) {
+        if (best == kInvalidBlock || b < best)
+            best = b;
+    }
+    return best;
+}
+
+std::unique_ptr<GcPolicy>
+makeGcPolicy(const std::string &name)
+{
+    if (name == "greedy")
+        return std::make_unique<GreedyGcPolicy>();
+    if (name == "fifo")
+        return std::make_unique<FifoGcPolicy>();
+    AERO_FATAL("unknown GC policy '", name, "' (valid: ", gcPolicyNames(),
+               ")");
+}
+
+const char *
+gcPolicyNames()
+{
+    return "greedy, fifo";
 }
 
 } // namespace aero

@@ -1,13 +1,17 @@
 /**
  * @file
- * Greedy garbage collection (the paper's Table 2 GC policy [77]): the
+ * Garbage-collection victim selection behind a policy interface. The
+ * default GreedyGcPolicy is the paper's Table 2 GC policy [77]: the
  * victim is the full block with the fewest valid pages in the plane that
  * fell below the free-block watermark. The migration/erase orchestration
- * lives in the FTL; this module holds the policy and job bookkeeping.
+ * lives in the FTL; this module holds the policies and job bookkeeping.
  */
 
 #ifndef AERO_SSD_GC_HH
 #define AERO_SSD_GC_HH
+
+#include <memory>
+#include <string>
 
 #include "ssd/block_manager.hh"
 #include "ssd/mapping.hh"
@@ -26,17 +30,52 @@ struct GcJob
     bool eraseIssued = false;
 };
 
-class GreedyGcPolicy
+/** Victim-selection policy. Implementations must be deterministic. */
+class GcPolicy
 {
   public:
+    virtual ~GcPolicy() = default;
+
     /**
-     * Pick the full block with the fewest valid pages.
+     * Pick the victim block among the plane's full blocks.
      * @return kInvalidBlock when the plane has no full blocks.
      */
-    static BlockId pickVictim(const PageMapping &mapping,
-                              const BlockManager &blocks, int chip,
-                              int plane);
+    virtual BlockId pickVictim(const PageMapping &mapping,
+                               const BlockManager &blocks, int chip,
+                               int plane) const = 0;
+
+    /** Stable registry name ("greedy", "fifo", ...). */
+    virtual const char *name() const = 0;
 };
+
+/** Full block with the fewest valid pages; first-lowest wins ties. */
+class GreedyGcPolicy : public GcPolicy
+{
+  public:
+    BlockId pickVictim(const PageMapping &mapping,
+                       const BlockManager &blocks, int chip,
+                       int plane) const override;
+    const char *name() const override { return "greedy"; }
+};
+
+/**
+ * Oldest full block (lowest block id), regardless of valid-page count.
+ * A deliberately naive baseline for write-amplification comparisons.
+ */
+class FifoGcPolicy : public GcPolicy
+{
+  public:
+    BlockId pickVictim(const PageMapping &mapping,
+                       const BlockManager &blocks, int chip,
+                       int plane) const override;
+    const char *name() const override { return "fifo"; }
+};
+
+/** Instantiate a policy by registry name; fatal listing valid names. */
+std::unique_ptr<GcPolicy> makeGcPolicy(const std::string &name);
+
+/** Comma-separated list of registered policy names. */
+const char *gcPolicyNames();
 
 } // namespace aero
 

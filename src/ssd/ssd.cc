@@ -28,29 +28,36 @@ Ssd::run(const Trace &trace, Tick deadline)
 {
     if (trace.empty())
         return;
-    // Feed arrivals incrementally: each arrival event submits its record
-    // and schedules the next one, keeping the queue small. The queue is
+    // Feed arrivals incrementally, keeping the queue small. The queue is
     // always drained before returning (the deadline only stops *new*
-    // arrivals), so the self-referencing pump callback cannot dangle.
-    const Tick base = eq.now();
-    auto cursor = std::make_shared<std::size_t>(0);
-    auto pump = std::make_shared<std::function<void()>>();
-    *pump = [this, &trace, cursor, base, deadline, weak =
-             std::weak_ptr<std::function<void()>>(pump)] {
-        const auto i = (*cursor)++;
-        ftlImpl->submit(trace[i]);
-        if (*cursor < trace.size() && eq.now() < deadline) {
-            const Tick next = base + trace[*cursor].arrival;
-            auto self = weak.lock();
-            AERO_CHECK(self, "trace pump expired early");
-            eq.scheduleAt(next < eq.now() ? eq.now() : next, *self);
-        }
-    };
-    eq.scheduleAt(base + trace.front().arrival, *pump);
+    // arrivals), so the stack pump cannot dangle.
+    TracePump pump{ftlImpl.get(), &eq, &trace, 0, eq.now(), deadline};
+    eq.scheduleTraceAdmitAt(pump.base + trace.front().arrival, pump);
     eq.run();
     AERO_CHECK(ftlImpl->drained(), "event queue drained with in-flight "
                "requests: FTL lost a completion");
     metrics().simulatedTime = eq.now();
+}
+
+void
+TracePump::fire()
+{
+    for (;;) {
+        ftl->submit((*trace)[cursor]);
+        cursor += 1;
+        if (cursor >= trace->size() || eq->now() >= deadline)
+            return;
+        const Tick due_raw = base + (*trace)[cursor].arrival;
+        const Tick due = due_raw < eq->now() ? eq->now() : due_raw;
+        // Admit the next record inline only when that is provably
+        // identical to the one-event-per-record pump this replaced: a
+        // pump event scheduled at now() with nothing else pending at
+        // now() would fire immediately next anyway.
+        if (due <= eq->now() && eq->nextEventTick() > eq->now())
+            continue;
+        eq->scheduleTraceAdmitAt(due, *this);
+        return;
+    }
 }
 
 } // namespace aero

@@ -15,6 +15,26 @@
 namespace aero
 {
 
+/**
+ * Feeds trace arrivals into the FTL as tagged kernel events. Each firing
+ * admits every record already due, then schedules one event for the next
+ * future arrival — the queue holds at most one pump event at a time.
+ * Lives on Ssd::run()'s stack; run() drains the queue before returning,
+ * so pending pump events cannot dangle.
+ */
+struct TracePump
+{
+    Ftl *ftl = nullptr;
+    EventQueue *eq = nullptr;
+    const Trace *trace = nullptr;
+    std::size_t cursor = 0;
+    Tick base = 0;          //!< eq->now() when the replay started
+    Tick deadline = kTickMax;
+
+    /** Kernel dispatch target: admit the due records. */
+    void fire();
+};
+
 class Ssd
 {
   public:

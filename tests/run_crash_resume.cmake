@@ -10,7 +10,10 @@
 #      SIGKILL it at a randomized point (growing, jittered timeouts), so
 #      successive attempts die at different stages of the campaign and
 #      each restart must resume from the journal the previous victim
-#      left behind — torn tails included. The loop ends when an attempt
+#      left behind — torn tails included. Each attempt also runs under a
+#      *random* AERO_SWEEP_THREADS (1-4), so resumes cross worker
+#      counts: the journal is axis-keyed, not position-keyed, and this
+#      is where that claim is exercised. The loop ends when an attempt
 #      survives to completion (a final untimed run guarantees that).
 #   3. Require the resumed artifacts to be *byte-identical* to the clean
 #      run's (cmake -E compare_files), and `aero_diff` to agree.
@@ -71,6 +74,11 @@ foreach(attempt RANGE 1 ${MAX_KILLS})
     endif()
     set(budget "${timeout_s}.${timeout_frac}")
 
+    # Resume under a different worker count than the journal was
+    # written with (restored to ${THREADS} after the loop).
+    string(RANDOM LENGTH 1 ALPHABET "1234" attempt_threads)
+    set(ENV{AERO_SWEEP_THREADS} "${attempt_threads}")
+
     if(TIMEOUT_TOOL)
         execute_process(
             COMMAND "${TIMEOUT_TOOL}" --signal=KILL "${budget}"
@@ -94,6 +102,7 @@ foreach(attempt RANGE 1 ${MAX_KILLS})
     math(EXPR kill_ms "(${kill_ms} * 14) / 10")
 endforeach()
 
+set(ENV{AERO_SWEEP_THREADS} "${THREADS}")
 if(NOT completed)
     # Pathologically slow machine: let the final resume run to the end.
     execute_process(

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for GC victim selection (ssd/gc.hh): the greedy policy's
+ * min-valid choice and tie-breaking, the fifo baseline, and the
+ * name-based policy registry the SsdConfig::gcPolicy knob resolves
+ * through.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+#include "ssd/config.hh"
+#include "ssd/gc.hh"
+
+namespace aero
+{
+namespace
+{
+
+/**
+ * A plane with three full blocks holding a controlled number of valid
+ * pages each: fill blocks back-to-back through the BlockManager, then
+ * invalidate LPNs until block i keeps `valid[i]` pages.
+ */
+struct PlaneFixture
+{
+    SsdConfig cfg = SsdConfig::tiny();
+    BlockManager blocks;
+    PageMapping mapping;
+    std::vector<BlockId> full;
+
+    explicit PlaneFixture(const std::vector<int> &valid)
+        : blocks(cfg),
+          mapping(cfg.logicalPages(), cfg.totalChips(),
+                  cfg.blocksPerChip(), cfg.geometry.pagesPerBlock)
+    {
+        Lpn next_lpn = 0;
+        for (const int keep : valid) {
+            BlockId blk = kInvalidBlock;
+            int page = 0;
+            for (int i = 0; i < cfg.geometry.pagesPerBlock; ++i) {
+                AERO_CHECK(blocks.allocate(0, 0, blk, page),
+                           "fixture plane ran out of blocks");
+                mapping.update(next_lpn++, mapping.encode(0, blk, page));
+            }
+            full.push_back(blk);
+            // Invalidate from the tail so `keep` valid pages remain.
+            for (int i = 0; i < cfg.geometry.pagesPerBlock - keep; ++i)
+                mapping.invalidateLpn(next_lpn - 1 - i);
+        }
+    }
+};
+
+TEST(GcPolicy, GreedyPicksFewestValidPages)
+{
+    PlaneFixture fx({5, 2, 9});
+    GreedyGcPolicy greedy;
+    EXPECT_EQ(greedy.pickVictim(fx.mapping, fx.blocks, 0, 0), fx.full[1]);
+}
+
+TEST(GcPolicy, GreedyBreaksTiesTowardLowestBlockId)
+{
+    PlaneFixture fx({4, 4, 4});
+    GreedyGcPolicy greedy;
+    const BlockId victim =
+        greedy.pickVictim(fx.mapping, fx.blocks, 0, 0);
+    EXPECT_EQ(victim, *std::min_element(fx.full.begin(), fx.full.end()));
+}
+
+TEST(GcPolicy, FifoPicksLowestBlockIdRegardlessOfValidCount)
+{
+    PlaneFixture fx({9, 1, 5});
+    FifoGcPolicy fifo;
+    EXPECT_EQ(fifo.pickVictim(fx.mapping, fx.blocks, 0, 0),
+              *std::min_element(fx.full.begin(), fx.full.end()));
+}
+
+TEST(GcPolicy, NoFullBlocksMeansNoVictim)
+{
+    const SsdConfig cfg = SsdConfig::tiny();
+    BlockManager blocks(cfg);
+    PageMapping mapping(cfg.logicalPages(), cfg.totalChips(),
+                        cfg.blocksPerChip(), cfg.geometry.pagesPerBlock);
+    GreedyGcPolicy greedy;
+    FifoGcPolicy fifo;
+    EXPECT_EQ(greedy.pickVictim(mapping, blocks, 0, 0), kInvalidBlock);
+    EXPECT_EQ(fifo.pickVictim(mapping, blocks, 0, 0), kInvalidBlock);
+}
+
+TEST(GcPolicy, RegistryRoundTripsNames)
+{
+    const auto greedy = makeGcPolicy("greedy");
+    const auto fifo = makeGcPolicy("fifo");
+    EXPECT_STREQ(greedy->name(), "greedy");
+    EXPECT_STREQ(fifo->name(), "fifo");
+    EXPECT_NE(std::string(gcPolicyNames()).find("greedy"),
+              std::string::npos);
+    EXPECT_NE(std::string(gcPolicyNames()).find("fifo"),
+              std::string::npos);
+}
+
+TEST(GcPolicy, UnknownNameIsFatalAndListsChoices)
+{
+    EXPECT_DEATH((void)makeGcPolicy("lru"), "greedy");
+}
+
+} // namespace
+} // namespace aero
