@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Multi-tenant QoS study: N tenant workloads share one drive, and the
+ * per-tenant read-latency tails show how much one tenant's erase traffic
+ * bleeds into another's reads under each erase scheme — the shared-drive
+ * consequence of the tail-latency result of Fig. 14.
+ *
+ * The tenant mix comes from `--tenants <spec>` (see
+ * workload/trace_io/tenant.hh for the grammar: synthetic Table-3 presets
+ * or `@file` aero-trace/1 traces, merged by arrival time and tagged).
+ * Each (scheme, PEC) cell replays the identical merged stream through
+ * its own drive; cells fan out over parallelMapJournaled, so
+ * `--checkpoint` resumes a killed campaign and artifacts are
+ * byte-identical at any AERO_SWEEP_THREADS.
+ *
+ * `--small` runs a fixed hermetic mix for the golden gate (prxy/hm/usr,
+ * 1200 requests each, Baseline vs AERO at 2.5K PEC) and therefore
+ * rejects `--tenants`.
+ */
+
+#include <cstring>
+
+#include "bench_util.hh"
+#include "devchar/simstudy.hh"
+#include "erase/scheme_registry.hh"
+#include "exp/sweep.hh"
+#include "workload/trace_io/tenant.hh"
+
+using namespace aero;
+
+namespace
+{
+
+struct TenantRow
+{
+    TenantId tenant = 0;
+    std::string source;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double avgReadUs = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+};
+
+struct Cell
+{
+    SchemeKind scheme = SchemeKind::Baseline;
+    double pec = 500.0;
+};
+
+struct CellResult
+{
+    std::vector<TenantRow> rows;  //!< one per tenant, in tenant order
+};
+
+Json
+toJson(const CellResult &r)
+{
+    Json rows = Json::array();
+    for (const auto &t : r.rows) {
+        Json row = Json::object();
+        row["tenant"] = static_cast<std::uint64_t>(t.tenant);
+        row["source"] = t.source;
+        row["reads"] = t.reads;
+        row["writes"] = t.writes;
+        row["avg_read_us"] = t.avgReadUs;
+        row["p99_us"] = t.p99Us;
+        row["p999_us"] = t.p999Us;
+        rows.push(std::move(row));
+    }
+    return rows;
+}
+
+CellResult
+cellFromJson(const Json &rows)
+{
+    CellResult r;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Json &row = rows.at(i);
+        TenantRow t;
+        t.tenant = static_cast<TenantId>(row.get("tenant").asUint64());
+        t.source = row.get("source").asString();
+        t.reads = row.get("reads").asUint64();
+        t.writes = row.get("writes").asUint64();
+        t.avgReadUs = row.get("avg_read_us").asDouble();
+        t.p99Us = row.get("p99_us").asDouble();
+        t.p999Us = row.get("p999_us").asDouble();
+        r.rows.push_back(std::move(t));
+    }
+    return r;
+}
+
+CellResult
+runCell(const Cell &cell, const std::vector<TenantSource> &sources)
+{
+    SsdConfig cfg = SsdConfig::bench();
+    cfg.scheme = cell.scheme;
+    cfg.initialPec = cell.pec;
+
+    Ssd ssd(cfg);
+    ssd.metrics().enableTenantTracking(sources.size());
+
+    SyntheticConfig base;
+    base.footprintPages = ssd.config().logicalPages();
+    base.pageSizeKB = cfg.pageSizeKB;
+
+    std::vector<std::unique_ptr<TraceStream>> streams;
+    streams.reserve(sources.size());
+    for (const auto &src : sources)
+        streams.push_back(openTenantSource(src, base));
+    TenantMix mix(std::move(streams));
+    ssd.run(mix);
+
+    CellResult result;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        const TenantLatency &m = ssd.metrics().tenants[i];
+        TenantRow row;
+        row.tenant = static_cast<TenantId>(i);
+        row.source = sources[i].label;
+        row.reads = m.reads;
+        row.writes = m.writes;
+        row.avgReadUs = m.readLatency.mean() / static_cast<double>(kUs);
+        row.p99Us = ticksToUs(m.readLatency.percentile(0.99));
+        row.p999Us = ticksToUs(m.readLatency.percentile(0.999));
+        result.rows.push_back(std::move(row));
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --tenants is ours; strip it before the (strict) artifact parser.
+    std::string tenant_spec;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tenants") == 0) {
+            if (i + 1 >= argc)
+                AERO_FATAL("--tenants needs a mix spec (e.g. "
+                           "'prxy:20000:7,hm:20000:1007,@trace.trc')");
+            tenant_spec = argv[++i];
+            continue;
+        }
+        rest.push_back(argv[i]);
+    }
+    const auto artifacts = bench::parseArtifactArgs(
+        static_cast<int>(rest.size()), rest.data(), /*allow_small=*/true,
+        /*allow_checkpoint=*/true);
+    if (artifacts.small && !tenant_spec.empty())
+        AERO_FATAL("--small runs the fixed regression-gate mix and "
+                   "rejects --tenants");
+
+    bench::header("Multi-tenant QoS: per-tenant read tails on a shared "
+                  "drive");
+
+    // The gate mix is hermetic: fixed requests and per-tenant seeds.
+    if (tenant_spec.empty()) {
+        tenant_spec = artifacts.small
+                          ? "prxy:6000:7,hm:6000:1007,usr:6000:2007"
+                          : "prxy:20000:7,hm:20000:1007,usr:20000:2007";
+    }
+    const auto sources = parseTenantMixSpec(tenant_spec);
+
+    const std::vector<SchemeKind> schemes =
+        artifacts.small
+            ? std::vector<SchemeKind>{SchemeKind::Baseline,
+                                      SchemeKind::Aero}
+            : allSchemes();
+    const std::vector<double> pecs =
+        artifacts.small ? std::vector<double>{2500.0} : paperPecPoints();
+
+    std::vector<Cell> cells;
+    for (const double pec : pecs)
+        for (const SchemeKind scheme : schemes)
+            cells.push_back({scheme, pec});
+
+    std::printf("tenants: %s\n%zu cells (schemes x PEC) on %d threads "
+                "(env AERO_SWEEP_THREADS)\n",
+                tenant_spec.c_str(), cells.size(),
+                SweepRunner().threads());
+
+    Json journal_cfg = Json::object();
+    journal_cfg["tenants"] = tenant_spec;
+    Json scheme_names = Json::array();
+    for (const SchemeKind k : schemes)
+        scheme_names.push(schemeKindName(k));
+    journal_cfg["schemes"] = std::move(scheme_names);
+    journal_cfg["pecs"] = bench::jsonArray(pecs);
+    journal_cfg["small"] = artifacts.small;
+    const auto journal =
+        artifacts.openJournal("tenant_qos", std::move(journal_cfg));
+    const CampaignScope scope{journal.get()};
+
+    const auto results = parallelMapJournaled(
+        scope.journal, cells,
+        [&](std::size_t, const Cell &c) {
+            Json key = scope.key("scheme", schemeKindName(c.scheme));
+            key["pec"] = c.pec;
+            return key;
+        },
+        [&](const Cell &c) { return runCell(c, sources); },
+        [](const CellResult &r) { return toJson(r); }, cellFromJson);
+
+    for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
+        std::printf("\nPEC = %.1fK   (per-tenant read latency, us)\n",
+                    pecs[pi] / 1000.0);
+        bench::rule();
+        std::printf("%-3s %-16s", "t", "source");
+        for (const SchemeKind k : schemes)
+            std::printf(" | %9s p99/p999", schemeKindName(k));
+        std::printf("\n");
+        bench::rule();
+        for (std::size_t t = 0; t < sources.size(); ++t) {
+            std::printf("%-3zu %-16s", t, sources[t].label.c_str());
+            for (std::size_t si = 0; si < schemes.size(); ++si) {
+                const auto &row =
+                    results[pi * schemes.size() + si].rows[t];
+                std::printf(" | %9.1f / %8.1f", row.p99Us, row.p999Us);
+            }
+            std::printf("\n");
+        }
+    }
+    bench::rule();
+    bench::note("every cell replays the identical merged stream; only "
+                "the erase scheme and conditioning differ");
+
+    bench::DevcharReport report("tenant_qos", {"scheme", "pec", "tenant"});
+    report.spec["tenants"] = tenant_spec;
+    report.spec["small"] = artifacts.small;
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+        for (const auto &t : results[ci].rows) {
+            Json row = Json::object();
+            row["scheme"] = schemeKindName(cells[ci].scheme);
+            row["pec"] = cells[ci].pec;
+            row["tenant"] = static_cast<std::uint64_t>(t.tenant);
+            row["source"] = t.source;
+            row["reads"] = t.reads;
+            row["writes"] = t.writes;
+            row["avg_read_us"] = t.avgReadUs;
+            row["p99_us"] = t.p99Us;
+            row["p999_us"] = t.p999Us;
+            report.addRow(std::move(row));
+        }
+    }
+    Json doc = report.doc();
+    doc["schema"] = "aero-tenant/1";
+    if (artifacts.wantJson())
+        writeJsonFile(artifacts.jsonPath, doc);
+    if (artifacts.wantCsv())
+        writeTextFile(artifacts.csvPath, bench::devcharCsv(report.results));
+    return 0;
+}

@@ -173,7 +173,8 @@ void
 Ftl::submit(const TraceRecord &rec)
 {
     const std::uint64_t id = nextRequestId++;
-    inflight.emplace(id, InflightRequest{rec.op, eq.now(), rec.pages});
+    inflight.emplace(id, InflightRequest{rec.op, eq.now(), rec.pages,
+                                         rec.tenant});
     if (rec.op == IoOp::Read) {
         // Reads are side-effect free at admission, so a multi-page
         // request queues as a burst: one dispatch pass per touched chip
@@ -274,12 +275,27 @@ Ftl::completeRequestPage(std::uint64_t request_id)
     AERO_CHECK(req.remaining > 0, "request page over-completion");
     if (--req.remaining == 0) {
         const Tick latency = eq.now() - req.arrival + cfg.hostOverhead;
+        TenantLatency *tenant = nullptr;
+        if (stats.tenantTrackingEnabled()) {
+            AERO_CHECK(req.tenant < stats.tenants.size(),
+                       "request tenant ", req.tenant,
+                       " outside the tracked range");
+            tenant = &stats.tenants[req.tenant];
+        }
         if (req.op == IoOp::Read) {
             stats.reads += 1;
             stats.readLatency.add(latency);
+            if (tenant) {
+                tenant->reads += 1;
+                tenant->readLatency.add(latency);
+            }
         } else {
             stats.writes += 1;
             stats.writeLatency.add(latency);
+            if (tenant) {
+                tenant->writes += 1;
+                tenant->writeLatency.add(latency);
+            }
         }
         inflight.erase(it);
     }

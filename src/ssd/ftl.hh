@@ -74,6 +74,7 @@ class Ftl : public FtlCallbacks
         IoOp op;
         Tick arrival;
         std::uint32_t remaining;
+        TenantId tenant;
     };
 
     struct StalledWrite

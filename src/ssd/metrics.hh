@@ -8,17 +8,39 @@
 #define AERO_SSD_METRICS_HH
 
 #include <string>
+#include <vector>
 
 #include "stats/percentile.hh"
 #include "common/types.hh"
+#include "workload/trace.hh"
 
 namespace aero
 {
+
+/**
+ * Per-tenant QoS accounting bucket: the same latency reservoirs the
+ * drive keeps globally, split by the TenantId each trace record carries.
+ * Only populated when enableTenantTracking() was called — single-tenant
+ * runs pay nothing.
+ */
+struct TenantLatency
+{
+    PercentileTracker readLatency;   //!< ns, completed user reads
+    PercentileTracker writeLatency;  //!< ns, completed user writes
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
 
 struct SsdMetrics
 {
     PercentileTracker readLatency;   //!< ns, completed user reads
     PercentileTracker writeLatency;  //!< ns, completed user writes
+
+    /** Indexed by TenantId; empty unless enableTenantTracking(). */
+    std::vector<TenantLatency> tenants;
+
+    void enableTenantTracking(std::size_t count) { tenants.resize(count); }
+    bool tenantTrackingEnabled() const { return !tenants.empty(); }
 
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;

@@ -26,13 +26,28 @@ Ssd::run(const Trace &trace)
 void
 Ssd::run(const Trace &trace, Tick deadline)
 {
-    if (trace.empty())
-        return;
+    VectorTraceStream stream(trace);
+    run(stream, deadline);
+}
+
+void
+Ssd::run(TraceStream &stream)
+{
+    run(stream, kTickMax);
+}
+
+void
+Ssd::run(TraceStream &stream, Tick deadline)
+{
     // Feed arrivals incrementally, keeping the queue small. The queue is
     // always drained before returning (the deadline only stops *new*
     // arrivals), so the stack pump cannot dangle.
-    TracePump pump{ftlImpl.get(), &eq, &trace, 0, eq.now(), deadline};
-    eq.scheduleTraceAdmitAt(pump.base + trace.front().arrival, pump);
+    TracePump pump{ftlImpl.get(), &eq, &stream, {}, false, eq.now(),
+                   deadline};
+    pump.hasPending = stream.next(pump.pending);
+    if (!pump.hasPending)
+        return;
+    eq.scheduleTraceAdmitAt(pump.base + pump.pending.arrival, pump);
     eq.run();
     AERO_CHECK(ftlImpl->drained(), "event queue drained with in-flight "
                "requests: FTL lost a completion");
@@ -43,11 +58,11 @@ void
 TracePump::fire()
 {
     for (;;) {
-        ftl->submit((*trace)[cursor]);
-        cursor += 1;
-        if (cursor >= trace->size() || eq->now() >= deadline)
+        ftl->submit(pending);
+        hasPending = stream->next(pending);
+        if (!hasPending || eq->now() >= deadline)
             return;
-        const Tick due_raw = base + (*trace)[cursor].arrival;
+        const Tick due_raw = base + pending.arrival;
         const Tick due = due_raw < eq->now() ? eq->now() : due_raw;
         // Admit the next record inline only when that is provably
         // identical to the one-event-per-record pump this replaced: a

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "ssd/ftl.hh"
+#include "workload/trace_io/stream.hh"
 
 namespace aero
 {
@@ -19,6 +20,8 @@ namespace aero
  * Feeds trace arrivals into the FTL as tagged kernel events. Each firing
  * admits every record already due, then schedules one event for the next
  * future arrival — the queue holds at most one pump event at a time.
+ * The pump pulls from a TraceStream one record ahead, so replay memory
+ * is the stream's (one chunk for FileTraceStream), never the trace's.
  * Lives on Ssd::run()'s stack; run() drains the queue before returning,
  * so pending pump events cannot dangle.
  */
@@ -26,8 +29,9 @@ struct TracePump
 {
     Ftl *ftl = nullptr;
     EventQueue *eq = nullptr;
-    const Trace *trace = nullptr;
-    std::size_t cursor = 0;
+    TraceStream *stream = nullptr;
+    TraceRecord pending;    //!< next record to admit (valid iff hasPending)
+    bool hasPending = false;
     Tick base = 0;          //!< eq->now() when the replay started
     Tick deadline = kTickMax;
 
@@ -52,6 +56,15 @@ class Ssd
 
     /** Replay and also force-quiesce after `deadline` of simulated time. */
     void run(const Trace &trace, Tick deadline);
+
+    /**
+     * Replay from a pull stream — the admission path every overload
+     * funnels into. Only one record is resident at a time beyond the
+     * stream's own buffering, so multi-billion-request file traces
+     * replay in O(chunk) memory.
+     */
+    void run(TraceStream &stream);
+    void run(TraceStream &stream, Tick deadline);
 
     SsdMetrics &metrics() { return ftlImpl->metrics(); }
     Ftl &ftl() { return *ftlImpl; }

@@ -39,7 +39,9 @@ workloadByName(const std::string &name)
     for (std::size_t i = 0; i < specs.size(); ++i)
         os << (i ? ", " : "") << specs[i].name;
     AERO_FATAL("unknown workload: '", name,
-               "' (valid Table-3 names: ", os.str(), ")");
+               "' (valid Table-3 names: ", os.str(),
+               "; trace-backed workloads are named '@<file>' and take an "
+               "aero-trace/1 file)");
 }
 
 } // namespace aero

@@ -19,12 +19,20 @@ namespace aero
 
 enum class IoOp : std::uint8_t { Read, Write };
 
+/**
+ * Tenant identity for multi-tenant QoS accounting. Tenant 0 is the
+ * default (single-tenant) identity; TenantMix retags merged records
+ * with each source stream's index.
+ */
+using TenantId = std::uint16_t;
+
 struct TraceRecord
 {
     Tick arrival = 0;      //!< absolute arrival time
     IoOp op = IoOp::Read;
     Lpn startPage = 0;     //!< first logical page
     std::uint32_t pages = 1;
+    TenantId tenant = 0;   //!< QoS accounting bucket (see ssd/metrics.hh)
 };
 
 using Trace = std::vector<TraceRecord>;

@@ -1,0 +1,202 @@
+#include "workload/trace_io/format.hh"
+
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace aero
+{
+
+namespace trace_io
+{
+
+namespace
+{
+
+void
+putU16(std::uint8_t *out, std::uint16_t v)
+{
+    out[0] = static_cast<std::uint8_t>(v);
+    out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+putU32(std::uint8_t *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+putU64(std::uint8_t *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t
+getU16(const std::uint8_t *in)
+{
+    return static_cast<std::uint16_t>(in[0] |
+                                      (static_cast<std::uint16_t>(in[1])
+                                       << 8));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *in)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *in)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::string
+TraceError::toString() const
+{
+    std::ostringstream os;
+    if (line > 0)
+        os << "line " << line << ": ";
+    else if (record > 0)
+        os << "byte " << byteOffset << " (record " << record << "): ";
+    else
+        os << "byte " << byteOffset << ": ";
+    os << message;
+    return os.str();
+}
+
+void
+encodeRecord(const TraceRecord &rec,
+             std::array<std::uint8_t, kRecordBytes> &out)
+{
+    putU64(out.data(), rec.arrival);
+    putU64(out.data() + 8, rec.startPage);
+    putU32(out.data() + 16, rec.pages);
+    out[20] = rec.op == IoOp::Read ? 0 : 1;
+    out[21] = 0;
+    putU16(out.data() + 22, rec.tenant);
+}
+
+bool
+decodeRecord(const std::uint8_t *bytes, TraceRecord *out, std::string *err)
+{
+    TraceRecord rec;
+    rec.arrival = getU64(bytes);
+    rec.startPage = getU64(bytes + 8);
+    rec.pages = getU32(bytes + 16);
+    const std::uint8_t op = bytes[20];
+    const std::uint8_t reserved = bytes[21];
+    rec.tenant = getU16(bytes + 22);
+    if (op > 1) {
+        if (err)
+            *err = "unknown op code " + std::to_string(op);
+        return false;
+    }
+    rec.op = op == 0 ? IoOp::Read : IoOp::Write;
+    if (reserved != 0) {
+        if (err)
+            *err = "nonzero reserved byte";
+        return false;
+    }
+    if (rec.pages == 0) {
+        if (err)
+            *err = "zero page count";
+        return false;
+    }
+    if (rec.startPage > std::numeric_limits<Lpn>::max() - rec.pages) {
+        if (err)
+            *err = "page span overflows 64 bits";
+        return false;
+    }
+    *out = rec;
+    return true;
+}
+
+void
+encodeHeader(const TraceFileHeader &header,
+             std::array<std::uint8_t, kHeaderBytes> &out)
+{
+    out.fill(0);
+    std::memcpy(out.data(), kMagic, sizeof(kMagic));
+    putU32(out.data() + 8, kVersion);
+    putU32(out.data() + 12, static_cast<std::uint32_t>(kRecordBytes));
+    putU32(out.data() + 16, header.flags);
+    putU32(out.data() + 20, header.pageKB);
+    putU64(out.data() + 24, 0);
+}
+
+bool
+decodeHeader(const std::uint8_t *bytes, TraceFileHeader *out,
+             std::string *err)
+{
+    if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+        if (err)
+            *err = "bad magic (not an aero-trace/1 file)";
+        return false;
+    }
+    const std::uint32_t version = getU32(bytes + 8);
+    if (version != kVersion) {
+        if (err)
+            *err = "unsupported version " + std::to_string(version);
+        return false;
+    }
+    const std::uint32_t record_bytes = getU32(bytes + 12);
+    if (record_bytes != kRecordBytes) {
+        if (err) {
+            *err = "unexpected record size " +
+                   std::to_string(record_bytes) + " (want " +
+                   std::to_string(kRecordBytes) + ")";
+        }
+        return false;
+    }
+    TraceFileHeader header;
+    header.flags = getU32(bytes + 16);
+    if ((header.flags & ~kFlagTenantTags) != 0) {
+        if (err)
+            *err = "unknown flag bits set";
+        return false;
+    }
+    header.pageKB = getU32(bytes + 20);
+    if (header.pageKB == 0) {
+        if (err)
+            *err = "zero page size";
+        return false;
+    }
+    if (getU64(bytes + 24) != 0) {
+        if (err)
+            *err = "nonzero reserved field";
+        return false;
+    }
+    *out = header;
+    return true;
+}
+
+bool
+pageSpanForBytes(std::uint64_t offsetBytes, std::uint64_t sizeBytes,
+                 std::uint32_t pageBytes, PageSpan *out)
+{
+    if (sizeBytes == 0 || pageBytes == 0)
+        return false;
+    if (offsetBytes > std::numeric_limits<std::uint64_t>::max() -
+                          (sizeBytes - 1))
+        return false;
+    const std::uint64_t last = offsetBytes + (sizeBytes - 1);
+    out->startPage = offsetBytes / pageBytes;
+    out->pages = last / pageBytes - out->startPage + 1;
+    return true;
+}
+
+} // namespace trace_io
+
+} // namespace aero

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The `aero-trace/1` on-disk binary trace format.
+ *
+ * Layout (all fields little-endian, written byte-by-byte so the format
+ * is identical on any host):
+ *
+ *   header (32 bytes)
+ *     0  magic     "AEROTRC1" (8 bytes)
+ *     8  version   u32 = 1
+ *     12 record_bytes u32 = 24
+ *     16 flags     u32 (bit 0: records carry tenant tags)
+ *     20 page_kb   u32 (logical page size the page numbers refer to)
+ *     24 reserved  u64 = 0
+ *   records (24 bytes each, to end of file)
+ *     0  arrival   u64 ns (non-decreasing across the file)
+ *     8  start_page u64
+ *     16 pages     u32 (> 0)
+ *     20 op        u8 (0 = read, 1 = write)
+ *     21 reserved  u8 = 0
+ *     22 tenant    u16
+ *
+ * The header carries no record count, so a writer can append records
+ * and crash at any point; readers consume to end-of-file and report a
+ * trailing partial record as a torn tail. Multi-billion-request traces
+ * are the point of the format: the streaming reader (trace_io/stream.hh)
+ * replays them in O(chunk) memory.
+ */
+
+#ifndef AERO_WORKLOAD_TRACE_IO_FORMAT_HH
+#define AERO_WORKLOAD_TRACE_IO_FORMAT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace aero
+{
+
+namespace trace_io
+{
+
+constexpr char kMagic[8] = {'A', 'E', 'R', 'O', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 32;
+constexpr std::size_t kRecordBytes = 24;
+constexpr std::uint32_t kFlagTenantTags = 1u << 0;
+
+/** Decoded `aero-trace/1` header. */
+struct TraceFileHeader
+{
+    std::uint32_t flags = 0;
+    std::uint32_t pageKB = 16;
+
+    bool hasTenantTags() const { return (flags & kFlagTenantTags) != 0; }
+};
+
+/**
+ * A reader/importer failure: what went wrong and where. `byteOffset` is
+ * the file position of the offending header field or record (for CSV
+ * input, `line` is the 1-based source line instead) — mirroring the
+ * JSON parser's positioned ParseError.
+ */
+struct TraceError
+{
+    std::string message;
+    std::uint64_t byteOffset = 0;
+    std::uint64_t record = 0;  //!< 0 for header errors, else 1-based
+    std::size_t line = 0;      //!< CSV importer errors only (1-based)
+
+    /** "byte B (record R): message" / "line L: message" for logs. */
+    std::string toString() const;
+};
+
+/** Encode one record into its 24-byte on-disk form. */
+void encodeRecord(const TraceRecord &rec,
+                  std::array<std::uint8_t, kRecordBytes> &out);
+
+/**
+ * Decode one on-disk record. Returns false (with a message in @p err)
+ * when the record is structurally invalid: zero page count, unknown op,
+ * nonzero reserved byte, or a page span overflowing 64 bits. Arrival
+ * monotonicity is the stream's job (it spans records).
+ */
+bool decodeRecord(const std::uint8_t *bytes, TraceRecord *out,
+                  std::string *err);
+
+/** Encode/decode the 32-byte header (decode validates every field). */
+void encodeHeader(const TraceFileHeader &header,
+                  std::array<std::uint8_t, kHeaderBytes> &out);
+bool decodeHeader(const std::uint8_t *bytes, TraceFileHeader *out,
+                  std::string *err);
+
+/**
+ * Explicit page rounding for byte-addressed requests (the CSV
+ * importer's contract): the request covers every page the byte range
+ * [offset, offset + size) touches, so a 2-byte request straddling a
+ * page boundary occupies two pages. @return false when @p sizeBytes is
+ * zero or the byte range overflows 64 bits.
+ */
+struct PageSpan
+{
+    Lpn startPage = 0;
+    std::uint64_t pages = 0;
+};
+
+bool pageSpanForBytes(std::uint64_t offsetBytes, std::uint64_t sizeBytes,
+                      std::uint32_t pageBytes, PageSpan *out);
+
+} // namespace trace_io
+
+} // namespace aero
+
+#endif // AERO_WORKLOAD_TRACE_IO_FORMAT_HH

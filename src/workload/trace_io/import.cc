@@ -1,0 +1,218 @@
+#include "workload/trace_io/import.hh"
+
+#include <fstream>
+#include <limits>
+
+#include "common/logging.hh"
+#include "workload/trace_io/stream.hh"
+
+namespace aero
+{
+
+namespace
+{
+
+/** Strict base-10 u64 parse with overflow detection. */
+bool
+parseU64(const std::string &field, std::uint64_t *out)
+{
+    if (field.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : field) {
+        if (c < '0' || c > '9')
+            return false;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            return false;
+        v = v * 10 + digit;
+    }
+    *out = v;
+    return true;
+}
+
+bool
+equalsIgnoreCase(const std::string &s, const char *word)
+{
+    std::size_t i = 0;
+    for (; word[i] != '\0'; ++i) {
+        if (i >= s.size())
+            return false;
+        char c = s[i];
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+        if (c != word[i])
+            return false;
+    }
+    return i == s.size();
+}
+
+/** Split on commas; no quoting in MSRC traces, so this is exact. */
+void
+splitFields(const std::string &line, std::vector<std::string> *out)
+{
+    out->clear();
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            out->push_back(line.substr(start));
+            return;
+        }
+        out->push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+bool
+failLine(trace_io::TraceError *err, std::size_t lineno, std::string message)
+{
+    if (err) {
+        err->message = std::move(message);
+        err->line = lineno;
+        err->byteOffset = 0;
+        err->record = 0;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+importMsrcCsv(std::istream &in, const MsrcImportOptions &opts,
+              const std::function<void(const TraceRecord &)> &sink,
+              ImportSummary *summary, trace_io::TraceError *err)
+{
+    AERO_CHECK(opts.pageKB > 0, "import page size must be nonzero");
+    AERO_CHECK(opts.timestampUnitNs > 0,
+               "import timestamp unit must be nonzero");
+    const std::uint32_t page_bytes =
+        opts.pageKB * static_cast<std::uint32_t>(kKiB);
+
+    ImportSummary sum;
+    std::string line;
+    std::vector<std::string> fields;
+    std::size_t lineno = 0;
+    std::uint64_t base_ts = 0;
+    bool have_base = false;
+    std::uint64_t last_ts = 0;
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+
+        splitFields(line, &fields);
+        if (fields.size() < 6) {
+            return failLine(err, lineno,
+                            "expected at least 6 comma-separated fields "
+                            "(timestamp,hostname,diskno,type,offset,size), "
+                            "got " + std::to_string(fields.size()));
+        }
+
+        std::uint64_t ts = 0;
+        if (!parseU64(fields[0], &ts))
+            return failLine(err, lineno,
+                            "bad timestamp '" + fields[0] + "'");
+        std::uint64_t diskno = 0;
+        if (!parseU64(fields[2], &diskno))
+            return failLine(err, lineno,
+                            "bad disk number '" + fields[2] + "'");
+
+        IoOp op;
+        if (equalsIgnoreCase(fields[3], "read"))
+            op = IoOp::Read;
+        else if (equalsIgnoreCase(fields[3], "write"))
+            op = IoOp::Write;
+        else
+            return failLine(err, lineno,
+                            "unknown request type '" + fields[3] +
+                            "' (want Read or Write)");
+
+        std::uint64_t offset = 0;
+        if (!parseU64(fields[4], &offset))
+            return failLine(err, lineno,
+                            "bad offset '" + fields[4] + "'");
+        std::uint64_t size = 0;
+        if (!parseU64(fields[5], &size))
+            return failLine(err, lineno, "bad size '" + fields[5] + "'");
+
+        if (!have_base) {
+            base_ts = opts.rebaseToZero ? ts : 0;
+            have_base = true;
+        } else if (ts < last_ts) {
+            return failLine(err, lineno,
+                            "out-of-order timestamp (" +
+                            std::to_string(ts) + " after " +
+                            std::to_string(last_ts) + ")");
+        }
+        last_ts = ts;
+
+        const std::uint64_t rel = ts - base_ts;
+        if (rel > std::numeric_limits<Tick>::max() / opts.timestampUnitNs)
+            return failLine(err, lineno,
+                            "timestamp overflows nanoseconds");
+
+        trace_io::PageSpan span;
+        if (!trace_io::pageSpanForBytes(offset, size, page_bytes, &span)) {
+            return failLine(err, lineno,
+                            size == 0 ? "zero-byte request"
+                                      : "byte range overflows 64 bits");
+        }
+        if (span.pages >
+            std::numeric_limits<std::uint32_t>::max()) {
+            return failLine(err, lineno,
+                            "request spans too many pages (" +
+                            std::to_string(span.pages) + ")");
+        }
+
+        TraceRecord rec;
+        rec.arrival = rel * opts.timestampUnitNs;
+        rec.op = op;
+        rec.startPage = span.startPage;
+        rec.pages = static_cast<std::uint32_t>(span.pages);
+        rec.tenant = opts.tenant;
+
+        if (sum.records == 0)
+            sum.firstArrival = rec.arrival;
+        sum.lastArrival = rec.arrival;
+        sum.lines += 1;
+        sum.records += 1;
+        if (op == IoOp::Read)
+            sum.reads += 1;
+        else
+            sum.writes += 1;
+        const Lpn last_page = rec.startPage + rec.pages - 1;
+        if (last_page > sum.maxPage)
+            sum.maxPage = last_page;
+
+        sink(rec);
+    }
+
+    if (summary)
+        *summary = sum;
+    return true;
+}
+
+ImportSummary
+importMsrcCsvFile(const std::string &csvPath, const std::string &outPath,
+                  const MsrcImportOptions &opts)
+{
+    std::ifstream in(csvPath);
+    if (!in)
+        AERO_FATAL("cannot open trace file: ", csvPath);
+    TraceWriter writer(outPath, opts.pageKB, opts.tenant != 0);
+    ImportSummary summary;
+    trace_io::TraceError err;
+    const bool ok = importMsrcCsv(
+        in, opts, [&](const TraceRecord &rec) { writer.append(rec); },
+        &summary, &err);
+    if (!ok)
+        AERO_FATAL("trace import ", csvPath, ": ", err.toString());
+    writer.close();
+    return summary;
+}
+
+} // namespace aero

@@ -1,0 +1,164 @@
+#include "workload/trace_io/tenant.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace aero
+{
+
+namespace
+{
+
+std::uint64_t
+parseCount(const std::string &entry, const std::string &field,
+           const char *what)
+{
+    if (field.empty())
+        AERO_FATAL("bad tenant mix entry '", entry, "': empty ", what);
+    std::uint64_t v = 0;
+    for (char c : field) {
+        if (c < '0' || c > '9')
+            AERO_FATAL("bad tenant mix entry '", entry, "': ", what,
+                       " '", field, "' is not a number");
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            AERO_FATAL("bad tenant mix entry '", entry, "': ", what,
+                       " '", field, "' overflows");
+        v = v * 10 + digit;
+    }
+    return v;
+}
+
+} // namespace
+
+std::vector<TenantSource>
+parseTenantMixSpec(const std::string &spec)
+{
+    std::vector<TenantSource> sources;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string entry = spec.substr(start, comma - start);
+        start = comma + 1;
+        if (entry.empty())
+            AERO_FATAL("bad tenant mix spec '", spec, "': empty entry");
+
+        TenantSource src;
+        src.label = entry;
+        if (entry[0] == '@') {
+            src.tracePath = entry.substr(1);
+            if (src.tracePath.empty())
+                AERO_FATAL("bad tenant mix entry '", entry,
+                           "': empty trace path");
+        } else {
+            const std::size_t c1 = entry.find(':');
+            if (c1 == std::string::npos) {
+                src.preset = entry;
+            } else {
+                src.preset = entry.substr(0, c1);
+                const std::size_t c2 = entry.find(':', c1 + 1);
+                const std::string reqs =
+                    entry.substr(c1 + 1, c2 == std::string::npos
+                                             ? std::string::npos
+                                             : c2 - c1 - 1);
+                src.requests = parseCount(entry, reqs, "request count");
+                if (src.requests == 0)
+                    AERO_FATAL("bad tenant mix entry '", entry,
+                               "': zero request count");
+                if (c2 != std::string::npos) {
+                    if (entry.find(':', c2 + 1) != std::string::npos)
+                        AERO_FATAL("bad tenant mix entry '", entry,
+                                   "': too many fields");
+                    src.seed = parseCount(entry, entry.substr(c2 + 1),
+                                          "seed");
+                    src.hasSeed = true;
+                }
+            }
+            if (src.preset.empty())
+                AERO_FATAL("bad tenant mix entry '", entry,
+                           "': empty preset name");
+        }
+        sources.push_back(std::move(src));
+    }
+    if (sources.empty())
+        AERO_FATAL("empty tenant mix spec");
+    if (sources.size() >
+        static_cast<std::size_t>(std::numeric_limits<TenantId>::max()) + 1)
+        AERO_FATAL("tenant mix has ", sources.size(),
+                   " tenants (max ",
+                   std::numeric_limits<TenantId>::max() + 1, ")");
+    return sources;
+}
+
+std::unique_ptr<TraceStream>
+openTenantSource(const TenantSource &src, const SyntheticConfig &base)
+{
+    if (!src.tracePath.empty()) {
+        auto stream = std::make_unique<FileTraceStream>(src.tracePath);
+        if (stream->pageKB() != base.pageSizeKB)
+            AERO_FATAL("tenant trace ", src.tracePath, " uses ",
+                       stream->pageKB(), " KB pages but the mix runs at ",
+                       base.pageSizeKB, " KB");
+        return stream;
+    }
+    SyntheticConfig cfg = base;
+    cfg.spec = workloadByName(src.preset);
+    if (src.requests != 0)
+        cfg.numRequests = src.requests;
+    if (src.hasSeed)
+        cfg.seed = src.seed;
+    return std::make_unique<VectorTraceStream>(generateTrace(cfg));
+}
+
+TenantMix::TenantMix(std::vector<std::unique_ptr<TraceStream>> streams)
+{
+    AERO_CHECK(!streams.empty(), "tenant mix needs at least one stream");
+    AERO_CHECK(streams.size() <=
+                   static_cast<std::size_t>(
+                       std::numeric_limits<TenantId>::max()) + 1,
+               "tenant mix has too many streams");
+    lanes.reserve(streams.size());
+    for (auto &stream : streams) {
+        Lane lane;
+        lane.stream = std::move(stream);
+        lane.alive = lane.stream->next(lane.head);
+        lanes.push_back(std::move(lane));
+    }
+}
+
+bool
+TenantMix::next(TraceRecord &out)
+{
+    std::size_t best = lanes.size();
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (!lanes[i].alive)
+            continue;
+        if (best == lanes.size() ||
+            lanes[i].head.arrival < lanes[best].head.arrival)
+            best = i;
+    }
+    if (best == lanes.size())
+        return false;
+
+    out = lanes[best].head;
+    out.tenant = static_cast<TenantId>(best);
+    AERO_CHECK(!started || out.arrival >= lastArrival,
+               "tenant stream ", best, " is not arrival-ordered");
+    started = true;
+    lastArrival = out.arrival;
+
+    TraceRecord refilled;
+    if (lanes[best].stream->next(refilled)) {
+        AERO_CHECK(refilled.arrival >= lanes[best].head.arrival,
+                   "tenant stream ", best, " is not arrival-ordered");
+        lanes[best].head = refilled;
+    } else {
+        lanes[best].alive = false;
+    }
+    return true;
+}
+
+} // namespace aero

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Multi-tenant trace composition: merge N per-tenant request streams
+ * into one arrival-ordered stream, tagging every record with the
+ * tenant it came from so SsdMetrics can keep per-tenant latency
+ * reservoirs (ssd/metrics.hh).
+ *
+ * A mix is described by a spec string of comma-separated tenants, each
+ * either a Table-3 synthetic preset or an `aero-trace/1` file:
+ *
+ *   prxy:20000:7,hm:20000:1007,@/data/web.trc
+ *
+ *   entry := preset[:requests[:seed]] | @path
+ *
+ * Tenant ids are assigned by position (the first entry is tenant 0).
+ */
+
+#ifndef AERO_WORKLOAD_TRACE_IO_TENANT_HH
+#define AERO_WORKLOAD_TRACE_IO_TENANT_HH
+
+#include <memory>
+
+#include "workload/synthetic.hh"
+#include "workload/trace_io/stream.hh"
+
+namespace aero
+{
+
+/** One tenant of a mix: a synthetic preset or a trace file. */
+struct TenantSource
+{
+    std::string label;      //!< spec entry verbatim (for reports)
+    std::string tracePath;  //!< nonempty: aero-trace/1 file
+    std::string preset;     //!< nonempty: Table-3 workload name
+    std::uint64_t requests = 0; //!< synthetic override (0: base default)
+    std::uint64_t seed = 0;
+    bool hasSeed = false;
+};
+
+/** Parse a tenant-mix spec string; fatal with the bad entry quoted. */
+std::vector<TenantSource> parseTenantMixSpec(const std::string &spec);
+
+/**
+ * Open one tenant's stream. Trace-file sources must match @p base's
+ * page size (fatal otherwise); synthetic sources start from @p base
+ * with the entry's preset/requests/seed overrides applied.
+ */
+std::unique_ptr<TraceStream> openTenantSource(const TenantSource &src,
+                                              const SyntheticConfig &base);
+
+/**
+ * K-way arrival-time merge over per-tenant streams. Ties break stably
+ * toward the lowest tenant index, so a mix replays identically no
+ * matter how the sources interleave. Records are retagged with their
+ * source index; each source must itself be arrival-ordered (checked).
+ */
+class TenantMix : public TraceStream
+{
+  public:
+    explicit TenantMix(std::vector<std::unique_ptr<TraceStream>> streams);
+
+    bool next(TraceRecord &out) override;
+
+    std::size_t tenantCount() const { return lanes.size(); }
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<TraceStream> stream;
+        TraceRecord head;
+        bool alive = false;
+    };
+
+    std::vector<Lane> lanes;
+    Tick lastArrival = 0;
+    bool started = false;
+};
+
+} // namespace aero
+
+#endif // AERO_WORKLOAD_TRACE_IO_TENANT_HH

@@ -27,7 +27,10 @@ TEST(Presets, LookupByNameAndSource)
 {
     EXPECT_DOUBLE_EQ(workloadByName("prxy").readRatio, 0.65);
     EXPECT_DOUBLE_EQ(workloadByName("prxy_1").readRatio, 0.65);
-    EXPECT_DEATH(workloadByName("nope"), "unknown workload");
+    // The message must list the valid names AND point at the
+    // trace-backed '@<file>' alternative.
+    EXPECT_DEATH(workloadByName("nope"),
+                 "unknown workload.*ali\\.A.*trace-backed");
 }
 
 TEST(Presets, MsrcTracesAccelerated10x)
