@@ -1,0 +1,245 @@
+/**
+ * @file
+ * GC/host contention campaign: runs the write-heavy prxy workload under
+ * *queued* channel arbitration (ssd/channel.hh) over a (scheme, GC
+ * policy, wear leveling) grid, and reports what the reclamation knobs
+ * cost the host — write amplification split into its GC and WL parts,
+ * erase counts, per-channel utilization, and the bus-queueing delay host
+ * transfers suffer behind GC copies and erase command issue.
+ *
+ * Cells fan out over parallelMapJournaled, so `--checkpoint` resumes a
+ * killed campaign and artifacts are byte-identical at any
+ * AERO_SWEEP_THREADS. `--small` runs the Baseline-scheme slice of the
+ * grid for the golden regression gate; every number emitted is a
+ * deterministic simulation output, so the gate diffs at tight tolerance.
+ */
+
+#include "bench_util.hh"
+#include "devchar/simstudy.hh"
+#include "erase/scheme_registry.hh"
+#include "exp/sweep.hh"
+#include "ssd/gc.hh"
+#include "ssd/wear_level.hh"
+#include "workload/synthetic.hh"
+
+using namespace aero;
+
+namespace
+{
+
+struct Cell
+{
+    SchemeKind scheme = SchemeKind::Baseline;
+    std::string gcPolicy = "greedy";
+    std::string wearLevel = "none";
+};
+
+struct CellResult
+{
+    double avgReadUs = 0.0;
+    double p999Us = 0.0;
+    double writeAmplification = 0.0;
+    double gcWriteAmplification = 0.0;
+    std::uint64_t gcMigratedPages = 0;
+    std::uint64_t wlMigratedPages = 0;
+    std::uint64_t wlInvocations = 0;
+    std::uint64_t erases = 0;
+    double maxChannelUtil = 0.0;
+    double hostWaitUs = 0.0;
+    double gcWaitUs = 0.0;
+};
+
+Json
+toJson(const CellResult &r)
+{
+    Json row = Json::object();
+    row["avg_read_us"] = r.avgReadUs;
+    row["p999_us"] = r.p999Us;
+    row["write_amplification"] = r.writeAmplification;
+    row["gc_write_amplification"] = r.gcWriteAmplification;
+    row["gc_migrated_pages"] = r.gcMigratedPages;
+    row["wl_migrated_pages"] = r.wlMigratedPages;
+    row["wl_invocations"] = r.wlInvocations;
+    row["erases"] = r.erases;
+    row["max_channel_util"] = r.maxChannelUtil;
+    row["host_wait_us"] = r.hostWaitUs;
+    row["gc_wait_us"] = r.gcWaitUs;
+    return row;
+}
+
+CellResult
+cellFromJson(const Json &row)
+{
+    CellResult r;
+    r.avgReadUs = row.get("avg_read_us").asDouble();
+    r.p999Us = row.get("p999_us").asDouble();
+    r.writeAmplification = row.get("write_amplification").asDouble();
+    r.gcWriteAmplification = row.get("gc_write_amplification").asDouble();
+    r.gcMigratedPages = row.get("gc_migrated_pages").asUint64();
+    r.wlMigratedPages = row.get("wl_migrated_pages").asUint64();
+    r.wlInvocations = row.get("wl_invocations").asUint64();
+    r.erases = row.get("erases").asUint64();
+    r.maxChannelUtil = row.get("max_channel_util").asDouble();
+    r.hostWaitUs = row.get("host_wait_us").asDouble();
+    r.gcWaitUs = row.get("gc_wait_us").asDouble();
+    return r;
+}
+
+CellResult
+runCell(const Cell &cell, std::uint64_t requests)
+{
+    // A deliberately small drive (8 dies over 4 channels, 8K pages) so
+    // even the gate run overwrites its footprint several times: GC and
+    // WL must do real work for the cells to differ.
+    SsdConfig cfg = SsdConfig::tiny();
+    cfg.channels = 4;
+    cfg.chipsPerChannel = 2;
+    cfg.arbitration = Arbitration::Queued;
+    cfg.scheme = cell.scheme;
+    cfg.gcPolicy = cell.gcPolicy;
+    cfg.wearLevel = cell.wearLevel;
+    // Low enough that static WL actually migrates within a short run.
+    cfg.wlEraseDelta = 2;
+    cfg.initialPec = 2500.0;
+    cfg.seed = 2024;
+
+    Ssd ssd(cfg);
+
+    SyntheticConfig wc;
+    wc.spec = workloadByName("prxy");  // write-heavy: GC does real work
+    wc.footprintPages = ssd.config().logicalPages();
+    wc.numRequests = requests;
+    wc.seed = 7;
+    ssd.run(generateTrace(wc));
+
+    const SsdMetrics &m = ssd.metrics();
+    CellResult r;
+    r.avgReadUs = m.readLatency.mean() / static_cast<double>(kUs);
+    r.p999Us = ticksToUs(m.readLatency.percentile(0.999));
+    r.writeAmplification = m.writeAmplification();
+    r.gcWriteAmplification = m.gcWriteAmplification();
+    r.gcMigratedPages = m.gcMigratedPages;
+    r.wlMigratedPages = m.wlMigratedPages;
+    r.wlInvocations = m.wlInvocations;
+    r.erases = m.erases;
+    r.maxChannelUtil = m.maxChannelUtilization();
+    r.hostWaitUs = m.avgHostChannelWaitUs();
+    r.gcWaitUs = m.avgGcChannelWaitUs();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto artifacts = bench::parseArtifactArgs(
+        argc, argv, /*allow_small=*/true, /*allow_checkpoint=*/true);
+
+    bench::header("GC contention: reclamation policies under queued "
+                  "channel arbitration");
+
+    const std::vector<SchemeKind> schemes =
+        artifacts.small
+            ? std::vector<SchemeKind>{SchemeKind::Baseline}
+            : std::vector<SchemeKind>{SchemeKind::Baseline,
+                                      SchemeKind::Aero};
+    const std::vector<std::string> gc_policies = {"greedy", "cost-benefit",
+                                                  "fifo-log"};
+    const std::vector<std::string> wear_levels = {"none", "dynamic",
+                                                  "static"};
+    const std::uint64_t requests = artifacts.small ? 4000 : 40000;
+
+    std::vector<Cell> cells;
+    for (const SchemeKind scheme : schemes)
+        for (const auto &gc : gc_policies)
+            for (const auto &wl : wear_levels)
+                cells.push_back({scheme, gc, wl});
+
+    std::printf("%zu cells (scheme x GC policy x wear leveling), %llu "
+                "requests each, on %d threads (env AERO_SWEEP_THREADS)\n",
+                cells.size(), static_cast<unsigned long long>(requests),
+                SweepRunner().threads());
+
+    Json journal_cfg = Json::object();
+    Json scheme_names = Json::array();
+    for (const SchemeKind k : schemes)
+        scheme_names.push(schemeKindName(k));
+    journal_cfg["schemes"] = std::move(scheme_names);
+    journal_cfg["gc_policies"] = bench::jsonArray(gc_policies);
+    journal_cfg["wear_levels"] = bench::jsonArray(wear_levels);
+    journal_cfg["requests"] = requests;
+    journal_cfg["arbitration"] = "queued";
+    journal_cfg["small"] = artifacts.small;
+    const auto journal =
+        artifacts.openJournal("gc_contention", std::move(journal_cfg));
+    const CampaignScope scope{journal.get()};
+
+    const auto results = parallelMapJournaled(
+        scope.journal, cells,
+        [&](std::size_t, const Cell &c) {
+            Json key = scope.key("scheme", schemeKindName(c.scheme));
+            key["gc_policy"] = c.gcPolicy;
+            key["wear_level"] = c.wearLevel;
+            return key;
+        },
+        [&](const Cell &c) { return runCell(c, requests); },
+        [](const CellResult &r) { return toJson(r); }, cellFromJson);
+
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        std::printf("\nscheme = %s\n", schemeKindName(schemes[si]));
+        bench::rule();
+        std::printf("%-13s %-8s %6s %6s %8s %9s %6s %8s %8s\n", "gc",
+                    "wl", "WA", "gcWA", "wl-pages", "erases", "util",
+                    "hostWus", "gcWus");
+        bench::rule();
+        for (std::size_t gi = 0; gi < gc_policies.size(); ++gi) {
+            for (std::size_t wi = 0; wi < wear_levels.size(); ++wi) {
+                const std::size_t idx =
+                    (si * gc_policies.size() + gi) * wear_levels.size() +
+                    wi;
+                const CellResult &r = results[idx];
+                std::printf("%-13s %-8s %6.3f %6.3f %8llu %9llu %5.1f%% "
+                            "%8.1f %8.1f\n",
+                            gc_policies[gi].c_str(),
+                            wear_levels[wi].c_str(),
+                            r.writeAmplification,
+                            r.gcWriteAmplification,
+                            static_cast<unsigned long long>(
+                                r.wlMigratedPages),
+                            static_cast<unsigned long long>(r.erases),
+                            r.maxChannelUtil * 100.0, r.hostWaitUs,
+                            r.gcWaitUs);
+            }
+        }
+    }
+    bench::rule();
+    bench::note("WA counts GC+WL copies; host/GC waits are mean bus-"
+                "queueing delays under queued arbitration");
+
+    bench::DevcharReport report("gc_contention",
+                                {"scheme", "gc_policy", "wear_level"});
+    report.spec["requests"] = requests;
+    report.spec["arbitration"] = "queued";
+    report.spec["workload"] = "prxy";
+    report.spec["small"] = artifacts.small;
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+        Json row = Json::object();
+        row["scheme"] = schemeKindName(cells[ci].scheme);
+        row["gc_policy"] = cells[ci].gcPolicy;
+        row["wear_level"] = cells[ci].wearLevel;
+        const Json metrics = toJson(results[ci]);
+        for (std::size_t m = 0; m < metrics.size(); ++m) {
+            const auto &[name, value] = metrics.member(m);
+            row[name] = value;
+        }
+        report.addRow(std::move(row));
+    }
+    Json doc = report.doc();
+    doc["schema"] = "aero-gc/1";
+    if (artifacts.wantJson())
+        writeJsonFile(artifacts.jsonPath, doc);
+    if (artifacts.wantCsv())
+        writeTextFile(artifacts.csvPath, bench::devcharCsv(report.results));
+    return 0;
+}

@@ -24,6 +24,8 @@
 #include "devchar/simstudy.hh"
 #include "erase/scheme_registry.hh"
 #include "exp/sweep.hh"
+#include "ssd/gc.hh"
+#include "ssd/wear_level.hh"
 #include "workload/trace_io/tenant.hh"
 
 using namespace aero;
@@ -91,11 +93,14 @@ cellFromJson(const Json &rows)
 }
 
 CellResult
-runCell(const Cell &cell, const std::vector<TenantSource> &sources)
+runCell(const Cell &cell, const std::vector<TenantSource> &sources,
+        const std::string &gc_policy, const std::string &wear_level)
 {
     SsdConfig cfg = SsdConfig::bench();
     cfg.scheme = cell.scheme;
     cfg.initialPec = cell.pec;
+    cfg.gcPolicy = gc_policy;
+    cfg.wearLevel = wear_level;
 
     Ssd ssd(cfg);
     ssd.metrics().enableTenantTracking(sources.size());
@@ -132,8 +137,11 @@ runCell(const Cell &cell, const std::vector<TenantSource> &sources)
 int
 main(int argc, char **argv)
 {
-    // --tenants is ours; strip it before the (strict) artifact parser.
+    // --tenants / --gc-policy / --wear-level are ours; strip them before
+    // the (strict) artifact parser.
     std::string tenant_spec;
+    std::string gc_policy = "greedy";
+    std::string wear_level = "none";
     std::vector<char *> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -142,6 +150,22 @@ main(int argc, char **argv)
                 AERO_FATAL("--tenants needs a mix spec (e.g. "
                            "'prxy:20000:7,hm:20000:1007,@trace.trc')");
             tenant_spec = argv[++i];
+            continue;
+        }
+        if (std::strcmp(argv[i], "--gc-policy") == 0) {
+            if (i + 1 >= argc)
+                AERO_FATAL("--gc-policy needs a name (valid: ",
+                           gcPolicyNames(), ")");
+            gc_policy = argv[++i];
+            (void)makeGcPolicy(gc_policy);  // fail fast on a typo
+            continue;
+        }
+        if (std::strcmp(argv[i], "--wear-level") == 0) {
+            if (i + 1 >= argc)
+                AERO_FATAL("--wear-level needs a name (valid: ",
+                           wearLevelPolicyNames(), ")");
+            wear_level = argv[++i];
+            (void)makeWearLevelPolicy(wear_level);
             continue;
         }
         rest.push_back(argv[i]);
@@ -190,6 +214,12 @@ main(int argc, char **argv)
     journal_cfg["schemes"] = std::move(scheme_names);
     journal_cfg["pecs"] = bench::jsonArray(pecs);
     journal_cfg["small"] = artifacts.small;
+    // Reclamation axes only appear when swept off their defaults so the
+    // golden artifact and old journals stay byte-identical.
+    if (gc_policy != "greedy")
+        journal_cfg["gc_policy"] = gc_policy;
+    if (wear_level != "none")
+        journal_cfg["wear_level"] = wear_level;
     const auto journal =
         artifacts.openJournal("tenant_qos", std::move(journal_cfg));
     const CampaignScope scope{journal.get()};
@@ -201,7 +231,7 @@ main(int argc, char **argv)
             key["pec"] = c.pec;
             return key;
         },
-        [&](const Cell &c) { return runCell(c, sources); },
+        [&](const Cell &c) { return runCell(c, sources, gc_policy, wear_level); },
         [](const CellResult &r) { return toJson(r); }, cellFromJson);
 
     for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
@@ -230,6 +260,10 @@ main(int argc, char **argv)
     bench::DevcharReport report("tenant_qos", {"scheme", "pec", "tenant"});
     report.spec["tenants"] = tenant_spec;
     report.spec["small"] = artifacts.small;
+    if (gc_policy != "greedy")
+        report.spec["gc_policy"] = gc_policy;
+    if (wear_level != "none")
+        report.spec["wear_level"] = wear_level;
     for (std::size_t ci = 0; ci < cells.size(); ++ci) {
         for (const auto &t : results[ci].rows) {
             Json row = Json::object();

@@ -96,6 +96,8 @@ usage(const char *prog)
         "'both'\n"
         "  --misrates r1,..      injected FELP misprediction rates\n"
         "  --rbers b1,..         RBER requirements [bits/1KiB]\n"
+        "  --gc-policies a,b,..  GC victim policies (default greedy)\n"
+        "  --wear-levels a,b,..  wear-leveling policies (default none)\n"
         "  --seeds s1,..         per-point trace seeds (default 7)\n"
         "  --requests n          requests per point (default "
         "AERO_SIM_REQUESTS)\n"
@@ -169,6 +171,10 @@ main(int argc, char **argv)
             for (const auto &tok : splitList(value))
                 bits.push_back(parseInt(arg, tok));
             builder.rberRequirements(bits);
+        } else if (arg == "--gc-policies") {
+            builder.gcPolicies(splitList(value));
+        } else if (arg == "--wear-levels") {
+            builder.wearLevels(splitList(value));
         } else if (arg == "--seeds") {
             std::vector<std::uint64_t> seeds;
             for (const auto &tok : splitList(value))

@@ -59,6 +59,8 @@ runSimPoint(const SimPoint &point, const SsdConfig &base)
     cfg.suspension = point.suspension;
     cfg.schemeOptions.mispredictionRate = point.mispredictionRate;
     cfg.schemeOptions.rberRequirement = point.rberRequirement;
+    cfg.gcPolicy = point.gcPolicy;
+    cfg.wearLevel = point.wearLevel;
     cfg.seed = point.seed ^ 0x51ULL;
 
     Ssd ssd(cfg);

@@ -27,6 +27,8 @@ struct SimPoint
     SuspensionMode suspension = SuspensionMode::MidSegment;
     double mispredictionRate = 0.0;
     int rberRequirement = 63;
+    std::string gcPolicy = "greedy";
+    std::string wearLevel = "none";
     std::uint64_t requests = 120000;
     std::uint64_t seed = 7;
 };

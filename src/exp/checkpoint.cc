@@ -40,7 +40,9 @@ pointIndex(const SweepSpec &spec, const SimPoint &pt)
                            "misprediction-rate"),
                       axis(spec.rberRequirements, pt.rberRequirement,
                            "rber-requirement"),
-                      axis(spec.seeds, pt.seed, "seed"));
+                      axis(spec.seeds, pt.seed, "seed"),
+                      axis(spec.gcPolicies, pt.gcPolicy, "gc-policy"),
+                      axis(spec.wearLevels, pt.wearLevel, "wear-level"));
 }
 
 } // namespace
@@ -94,6 +96,12 @@ SweepCheckpoint::keyOf(const SimPoint &pt) const
     point["suspension"] = suspensionModeName(pt.suspension);
     point["misprediction_rate"] = pt.mispredictionRate;
     point["rber_requirement"] = pt.rberRequirement;
+    // Off-default only, so pre-PR-8 journals replay against their
+    // original keys (see toJson(SimResult) in report.cc).
+    if (pt.gcPolicy != "greedy")
+        point["gc_policy"] = pt.gcPolicy;
+    if (pt.wearLevel != "none")
+        point["wear_level"] = pt.wearLevel;
     point["seed"] = pt.seed;
     key["point"] = std::move(point);
     return key;

@@ -21,6 +21,12 @@ toJson(const SimResult &result)
     row["suspension"] = suspensionModeName(pt.suspension);
     row["misprediction_rate"] = pt.mispredictionRate;
     row["rber_requirement"] = pt.rberRequirement;
+    // The reclamation axes (PR 8) are emitted only off their defaults so
+    // every pre-existing golden artifact stays byte-identical.
+    if (pt.gcPolicy != "greedy")
+        row["gc_policy"] = pt.gcPolicy;
+    if (pt.wearLevel != "none")
+        row["wear_level"] = pt.wearLevel;
     row["requests"] = pt.requests;
     row["seed"] = pt.seed;
     row["avg_read_us"] = result.avgReadUs;
@@ -54,6 +60,10 @@ simResultFromJson(const Json &row)
     r.point.mispredictionRate = need("misprediction_rate").asDouble();
     r.point.rberRequirement =
         static_cast<int>(need("rber_requirement").asInt64());
+    if (const Json *gc = row.find("gc_policy"))
+        r.point.gcPolicy = gc->asString();
+    if (const Json *wl = row.find("wear_level"))
+        r.point.wearLevel = wl->asString();
     r.point.requests = need("requests").asUint64();
     r.point.seed = need("seed").asUint64();
     r.avgReadUs = need("avg_read_us").asDouble();
@@ -97,6 +107,21 @@ toJson(const SweepSpec &spec)
     for (const int b : spec.rberRequirements)
         rbers.push(b);
     out["rber_requirements"] = std::move(rbers);
+    // Reclamation axes only when swept off their defaults (see
+    // toJson(SimResult)): keeps pre-PR-8 spec blocks — and the journal
+    // fingerprints derived from them — byte-identical.
+    if (spec.gcPolicies != std::vector<std::string>{"greedy"}) {
+        Json gcs = Json::array();
+        for (const auto &g : spec.gcPolicies)
+            gcs.push(g);
+        out["gc_policies"] = std::move(gcs);
+    }
+    if (spec.wearLevels != std::vector<std::string>{"none"}) {
+        Json wls = Json::array();
+        for (const auto &w : spec.wearLevels)
+            wls.push(w);
+        out["wear_levels"] = std::move(wls);
+    }
     Json seeds = Json::array();
     for (const auto s : spec.seeds)
         seeds.push(s);
@@ -127,16 +152,29 @@ toCsv(const std::vector<SimResult> &results)
     std::ostringstream os;
     // Round-trippable doubles, like the JSON serializer's shortest form.
     os.precision(std::numeric_limits<double>::max_digits10);
+    // The reclamation columns appear only when some row swept them off
+    // their defaults, mirroring the conditional JSON emission.
+    bool reclamation = false;
+    for (const auto &r : results) {
+        if (r.point.gcPolicy != "greedy" || r.point.wearLevel != "none") {
+            reclamation = true;
+            break;
+        }
+    }
     os << "workload,scheme,pec,suspension,misprediction_rate,"
-          "rber_requirement,requests,seed,avg_read_us,avg_write_us,iops,"
+          "rber_requirement,"
+       << (reclamation ? "gc_policy,wear_level," : "")
+       << "requests,seed,avg_read_us,avg_write_us,iops,"
           "p999_us,p9999_us,p999999_us,erases,avg_erase_ms,suspensions,"
           "write_amplification\n";
     for (const auto &r : results) {
         const SimPoint &pt = r.point;
         os << pt.workload << ',' << schemeKindName(pt.scheme) << ','
            << pt.pec << ',' << suspensionModeName(pt.suspension) << ','
-           << pt.mispredictionRate << ',' << pt.rberRequirement << ','
-           << pt.requests << ',' << pt.seed << ',' << r.avgReadUs << ','
+           << pt.mispredictionRate << ',' << pt.rberRequirement << ',';
+        if (reclamation)
+            os << pt.gcPolicy << ',' << pt.wearLevel << ',';
+        os << pt.requests << ',' << pt.seed << ',' << r.avgReadUs << ','
            << r.avgWriteUs << ',' << r.iops << ',' << r.p999Us << ','
            << r.p9999Us << ',' << r.p999999Us << ',' << r.erases << ','
            << r.avgEraseMs << ',' << r.suspensions << ','

@@ -8,6 +8,8 @@
 #include "common/logging.hh"
 #include "erase/scheme_registry.hh"
 #include "exp/checkpoint.hh"
+#include "ssd/gc.hh"
+#include "ssd/wear_level.hh"
 #include "workload/presets.hh"
 
 namespace aero
@@ -51,7 +53,8 @@ SweepSpec::size() const
 {
     return pecs.size() * suspensions.size() * workloads.size() *
            schemes.size() * mispredictionRates.size() *
-           rberRequirements.size() * seeds.size();
+           rberRequirements.size() * gcPolicies.size() *
+           wearLevels.size() * seeds.size();
 }
 
 std::vector<SimPoint>
@@ -65,17 +68,23 @@ SweepSpec::expand() const
                 for (const auto scheme : schemes) {
                     for (const double mis : mispredictionRates) {
                         for (const int rber : rberRequirements) {
-                            for (const auto seed : seeds) {
-                                SimPoint pt;
-                                pt.workload = wl;
-                                pt.scheme = scheme;
-                                pt.pec = pec;
-                                pt.suspension = susp;
-                                pt.mispredictionRate = mis;
-                                pt.rberRequirement = rber;
-                                pt.requests = requests;
-                                pt.seed = seed;
-                                points.push_back(pt);
+                            for (const auto &gc : gcPolicies) {
+                                for (const auto &wear : wearLevels) {
+                                    for (const auto seed : seeds) {
+                                        SimPoint pt;
+                                        pt.workload = wl;
+                                        pt.scheme = scheme;
+                                        pt.pec = pec;
+                                        pt.suspension = susp;
+                                        pt.mispredictionRate = mis;
+                                        pt.rberRequirement = rber;
+                                        pt.gcPolicy = gc;
+                                        pt.wearLevel = wear;
+                                        pt.requests = requests;
+                                        pt.seed = seed;
+                                        points.push_back(pt);
+                                    }
+                                }
                             }
                         }
                     }
@@ -89,12 +98,14 @@ SweepSpec::expand() const
 std::size_t
 SweepSpec::index(std::size_t pec, std::size_t susp, std::size_t wl,
                  std::size_t scheme, std::size_t mis, std::size_t rber,
-                 std::size_t seed) const
+                 std::size_t seed, std::size_t gc, std::size_t wear) const
 {
     AERO_CHECK(pec < pecs.size() && susp < suspensions.size() &&
                    wl < workloads.size() && scheme < schemes.size() &&
                    mis < mispredictionRates.size() &&
-                   rber < rberRequirements.size() && seed < seeds.size(),
+                   rber < rberRequirements.size() &&
+                   gc < gcPolicies.size() && wear < wearLevels.size() &&
+                   seed < seeds.size(),
                "sweep axis index out of range");
     std::size_t idx = pec;
     idx = idx * suspensions.size() + susp;
@@ -102,6 +113,8 @@ SweepSpec::index(std::size_t pec, std::size_t susp, std::size_t wl,
     idx = idx * schemes.size() + scheme;
     idx = idx * mispredictionRates.size() + mis;
     idx = idx * rberRequirements.size() + rber;
+    idx = idx * gcPolicies.size() + gc;
+    idx = idx * wearLevels.size() + wear;
     idx = idx * seeds.size() + seed;
     return idx;
 }
@@ -223,6 +236,34 @@ SweepBuilder::rberRequirements(const std::vector<int> &bits)
 }
 
 SweepBuilder &
+SweepBuilder::gcPolicy(const std::string &name)
+{
+    spec.gcPolicies = {name};
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::gcPolicies(const std::vector<std::string> &names)
+{
+    spec.gcPolicies = names;
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::wearLevel(const std::string &name)
+{
+    spec.wearLevels = {name};
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::wearLevels(const std::vector<std::string> &names)
+{
+    spec.wearLevels = names;
+    return *this;
+}
+
+SweepBuilder &
 SweepBuilder::seed(std::uint64_t seed)
 {
     spec.seeds = {seed};
@@ -275,6 +316,10 @@ SweepBuilder::build() const
         AERO_FATAL("sweep has no misprediction rates");
     if (spec.rberRequirements.empty())
         AERO_FATAL("sweep has no RBER requirements");
+    if (spec.gcPolicies.empty())
+        AERO_FATAL("sweep has no GC policies");
+    if (spec.wearLevels.empty())
+        AERO_FATAL("sweep has no wear-leveling policies");
     if (spec.seeds.empty())
         AERO_FATAL("sweep has no seeds");
     if (spec.requests == 0)
@@ -282,6 +327,11 @@ SweepBuilder::build() const
     // Fail on a typo'd workload before hours of simulation, not after.
     for (const auto &name : spec.workloads)
         (void)workloadByName(name);
+    // Same for typo'd policy names: both registries are fatal on unknown.
+    for (const auto &name : spec.gcPolicies)
+        (void)makeGcPolicy(name);
+    for (const auto &name : spec.wearLevels)
+        (void)makeWearLevelPolicy(name);
     return spec;
 }
 

@@ -8,7 +8,8 @@
  * an ordered vector of SimPoints with a fixed axis nesting (outermost to
  * innermost):
  *
- *   PEC > suspension > workload > scheme > misprediction > RBER > seed
+ *   PEC > suspension > workload > scheme > misprediction > RBER
+ *       > GC policy > wear leveling > seed
  *
  * SweepRunner executes the points across a std::thread pool (each point
  * builds its own Ssd, so points are fully independent) and returns results
@@ -41,6 +42,8 @@ struct SweepSpec
     std::vector<SuspensionMode> suspensions = {SuspensionMode::MidSegment};
     std::vector<double> mispredictionRates = {0.0};
     std::vector<int> rberRequirements = {63};
+    std::vector<std::string> gcPolicies = {"greedy"};
+    std::vector<std::string> wearLevels = {"none"};
     std::vector<std::uint64_t> seeds = {7};
     /** @} */
 
@@ -63,7 +66,8 @@ struct SweepSpec
      */
     std::size_t index(std::size_t pec, std::size_t susp, std::size_t wl,
                       std::size_t scheme, std::size_t mis, std::size_t rber,
-                      std::size_t seed) const;
+                      std::size_t seed, std::size_t gc = 0,
+                      std::size_t wear = 0) const;
 };
 
 /**
@@ -106,6 +110,14 @@ class SweepBuilder
 
     SweepBuilder &rberRequirement(int bits);
     SweepBuilder &rberRequirements(const std::vector<int> &bits);
+
+    /** GC victim-selection policy names (ssd/gc.hh registry). */
+    SweepBuilder &gcPolicy(const std::string &name);
+    SweepBuilder &gcPolicies(const std::vector<std::string> &names);
+
+    /** Wear-leveling policy names (ssd/wear_level.hh registry). */
+    SweepBuilder &wearLevel(const std::string &name);
+    SweepBuilder &wearLevels(const std::vector<std::string> &names);
 
     SweepBuilder &seed(std::uint64_t seed);
     SweepBuilder &seeds(const std::vector<std::uint64_t> &seeds);

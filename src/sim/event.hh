@@ -26,6 +26,7 @@
 namespace aero
 {
 
+class Channel;
 class ChipAgent;
 class Ftl;
 struct GcJob;
@@ -56,6 +57,8 @@ enum class EventKind : std::uint8_t
     SuspendQuiesced,   //!< erase-suspension entry latency elapsed
     HostPageDone,      //!< host-overhead-only page completion
     TraceAdmit,        //!< trace pump: admit the next due request burst
+    DieOpComplete,     //!< queued arbitration: on-die phase (sense) ended
+    ChannelGrant,      //!< queued arbitration: channel bus released
 };
 
 /**
@@ -109,6 +112,11 @@ struct Event
         TracePump *pump;
     };
 
+    struct ChannelPayload
+    {
+        Channel *channel;
+    };
+
     union Payload
     {
         Payload() : cb(nullptr) {}
@@ -116,9 +124,10 @@ struct Event
         std::function<void()> *cb;  //!< Callback (compat lane, owned)
         TimerPayload timer;         //!< Timer
         AgentPayload agent;         //!< ChipOpComplete / EraseSegmentDone
-                                    //!< / SuspendQuiesced
+                                    //!< / SuspendQuiesced / DieOpComplete
         HostPagePayload hostPage;   //!< HostPageDone
         PumpPayload pump;           //!< TraceAdmit
+        ChannelPayload channel;     //!< ChannelGrant
     };
 
     Tick when = 0;

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include "common/logging.hh"
+#include "ssd/channel.hh"
 #include "ssd/chip_agent.hh"
 #include "ssd/ftl.hh"
 #include "ssd/ssd.hh"
@@ -194,6 +195,22 @@ EventQueue::scheduleTraceAdmitAt(Tick when, TracePump &pump)
     return EventId{ev->slot, ev->gen};
 }
 
+EventId
+EventQueue::scheduleDieOpAt(Tick when, ChipAgent &agent)
+{
+    Event *ev = post(when, EventKind::DieOpComplete);
+    ev->payload.agent = Event::AgentPayload{&agent};
+    return EventId{ev->slot, ev->gen};
+}
+
+EventId
+EventQueue::scheduleChannelGrantAt(Tick when, Channel &channel)
+{
+    Event *ev = post(when, EventKind::ChannelGrant);
+    ev->payload.channel = Event::ChannelPayload{&channel};
+    return EventId{ev->slot, ev->gen};
+}
+
 bool
 EventQueue::cancel(EventId id)
 {
@@ -250,6 +267,12 @@ EventQueue::dispatch(EventKind kind, const Event::Payload &payload)
         break;
       case EventKind::TraceAdmit:
         payload.pump.pump->fire();
+        break;
+      case EventKind::DieOpComplete:
+        payload.agent.agent->onDieOpComplete();
+        break;
+      case EventKind::ChannelGrant:
+        payload.channel.channel->onGrantDone();
         break;
       case EventKind::Dead:
         AERO_PANIC("dispatching a dead event");

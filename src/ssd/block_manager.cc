@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "ssd/line_manager.hh"
+#include "ssd/wear_level.hh"
 
 namespace aero
 {
@@ -14,7 +16,8 @@ BlockManager::BlockManager(const SsdConfig &cfg)
       planesState(static_cast<std::size_t>(numChips) * planesPerChip),
       blockStates(static_cast<std::size_t>(numChips) * planesPerChip *
                       blocksPerPlane,
-                  BlockState::Free)
+                  BlockState::Free),
+      eraseCounts(blockStates.size(), 0)
 {
     for (int c = 0; c < numChips; ++c) {
         for (int p = 0; p < planesPerChip; ++p) {
@@ -51,6 +54,20 @@ BlockManager::state(int chip, BlockId block) const
     return blockStates[blockIndex(chip, block)];
 }
 
+BlockId
+BlockManager::takeFreeBlock(int chip, Plane &ps)
+{
+    std::size_t slot = ps.freeList.size() - 1;
+    if (wearPolicy)
+        slot = wearPolicy->chooseFreeSlot(ps.freeList, chip, *this);
+    AERO_CHECK(slot < ps.freeList.size(), "wear policy chose slot ", slot,
+               " outside the free list");
+    const BlockId block = ps.freeList[slot];
+    ps.freeList.erase(ps.freeList.begin() +
+                      static_cast<std::ptrdiff_t>(slot));
+    return block;
+}
+
 bool
 BlockManager::allocate(int chip, int plane, BlockId &block, int &page,
                        bool for_gc)
@@ -66,15 +83,18 @@ BlockManager::allocate(int chip, int plane, BlockId &block, int &page,
             for_gc ? 0u : static_cast<std::size_t>(kGcReservedBlocks);
         if (ps.freeList.size() <= reserve)
             return false;
-        open = ps.freeList.back();
-        ps.freeList.pop_back();
+        open = takeFreeBlock(chip, ps);
         cursor = 0;
         blockStates[blockIndex(chip, open)] = BlockState::Open;
+        if (lines)
+            lines->onBlockOpened(chip, open);
     }
     block = open;
     page = cursor++;
     if (cursor == pagesPerBlock) {
         blockStates[blockIndex(chip, open)] = BlockState::Full;
+        if (lines)
+            lines->onBlockFull(chip, open);
         open = kInvalidBlock;
         cursor = 0;
     }
@@ -96,6 +116,10 @@ BlockManager::onBlockErased(int chip, BlockId block)
     AERO_CHECK(st == BlockState::Full,
                "erased block was not in Full state");
     st = BlockState::Free;
+    eraseCounts[blockIndex(chip, block)] += 1;
+    totalEraseCount += 1;
+    if (lines)
+        lines->onBlockErased(chip, block);
     const int plane = planeOf(block);
     planesState[planeIndex(chip, plane)].freeList.push_back(block);
 }
@@ -110,6 +134,34 @@ BlockManager::fullBlocks(int chip, int plane) const
             out.push_back(id);
     }
     return out;
+}
+
+std::uint64_t
+BlockManager::eraseCount(int chip, BlockId block) const
+{
+    return eraseCounts[blockIndex(chip, block)];
+}
+
+std::uint64_t
+BlockManager::maxEraseCount(int chip, int plane) const
+{
+    std::uint64_t max_ec = 0;
+    for (int b = 0; b < blocksPerPlane; ++b) {
+        const auto id = static_cast<BlockId>(plane * blocksPerPlane + b);
+        max_ec = std::max(max_ec, eraseCount(chip, id));
+    }
+    return max_ec;
+}
+
+std::uint64_t
+BlockManager::minEraseCount(int chip, int plane) const
+{
+    std::uint64_t min_ec = ~0ULL;
+    for (int b = 0; b < blocksPerPlane; ++b) {
+        const auto id = static_cast<BlockId>(plane * blocksPerPlane + b);
+        min_ec = std::min(min_ec, eraseCount(chip, id));
+    }
+    return min_ec;
 }
 
 std::size_t

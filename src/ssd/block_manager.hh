@@ -2,6 +2,12 @@
  * @file
  * Physical block allocation: per-(chip, plane) free pools and open write
  * points. Blocks move Free -> Open -> Full -> (GC erase) -> Free.
+ *
+ * The manager also owns wear accounting (per-block erase counts since
+ * mount) and reports structural transitions to an optional LineManager
+ * observer so the GC victim heaps stay incremental. Which free block a
+ * plane opens next is delegated to an optional WearLevelPolicy; without
+ * one, reuse is LIFO exactly as before.
  */
 
 #ifndef AERO_SSD_BLOCK_MANAGER_HH
@@ -14,12 +20,21 @@
 namespace aero
 {
 
+class LineManager;
+class WearLevelPolicy;
+
 enum class BlockState : std::uint8_t { Free, Open, Full };
 
 class BlockManager
 {
   public:
     explicit BlockManager(const SsdConfig &cfg);
+
+    /** Wire the victim-heap observer (FTL does this once at mount). */
+    void setLineManager(LineManager *lines_) { lines = lines_; }
+
+    /** Wire the free-block selection policy (null = LIFO reuse). */
+    void setWearPolicy(const WearLevelPolicy *policy) { wearPolicy = policy; }
 
     int planeOf(BlockId block) const
     {
@@ -49,11 +64,19 @@ class BlockManager
     /** Pages already allocated in the open block (block must be Open). */
     int openPageCursor(int chip, int plane) const;
 
-    /** Return an erased block to the free pool. */
+    /** Return an erased block to the free pool (bumps its erase count). */
     void onBlockErased(int chip, BlockId block);
 
     /** Full blocks of a plane (GC victim candidates). */
     std::vector<BlockId> fullBlocks(int chip, int plane) const;
+
+    /** @name Wear accounting (erase cycles since mount) */
+    /** @{ */
+    std::uint64_t eraseCount(int chip, BlockId block) const;
+    std::uint64_t maxEraseCount(int chip, int plane) const;
+    std::uint64_t minEraseCount(int chip, int plane) const;
+    std::uint64_t totalErases() const { return totalEraseCount; }
+    /** @} */
 
     int chips() const { return numChips; }
     int planes() const { return planesPerChip; }
@@ -68,6 +91,9 @@ class BlockManager
         int cursorGc = 0;
     };
 
+    /** Detach one free block per the wear policy (default: the back). */
+    BlockId takeFreeBlock(int chip, Plane &ps);
+
     std::size_t planeIndex(int chip, int plane) const;
     std::size_t blockIndex(int chip, BlockId block) const;
 
@@ -77,6 +103,10 @@ class BlockManager
     int pagesPerBlock;
     std::vector<Plane> planesState;
     std::vector<BlockState> blockStates;
+    std::vector<std::uint64_t> eraseCounts;  //!< per (chip, block)
+    std::uint64_t totalEraseCount = 0;
+    LineManager *lines = nullptr;
+    const WearLevelPolicy *wearPolicy = nullptr;
 };
 
 } // namespace aero

@@ -1,0 +1,84 @@
+#include "ssd/channel.hh"
+
+#include "common/logging.hh"
+#include "ssd/chip_agent.hh"
+
+namespace aero
+{
+
+void
+Channel::init(int index, EventQueue *eq_, SsdMetrics *metrics_)
+{
+    idx = index;
+    eq = eq_;
+    metrics = metrics_;
+}
+
+bool
+Channel::quiet() const
+{
+    if (owned)
+        return false;
+    for (const auto &q : waiters) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+Channel::request(ChipAgent &agent, BusClass cls)
+{
+    AERO_CHECK(eq != nullptr, "channel used before init()");
+    if (!owned) {
+        grantTo(agent, cls, eq->now());
+        return;
+    }
+    waiters[static_cast<int>(cls)].push_back(Waiter{&agent, eq->now()});
+}
+
+void
+Channel::grantTo(ChipAgent &agent, BusClass cls, Tick since)
+{
+    const Tick now = eq->now();
+    const Tick wait = now - since;
+    switch (cls) {
+      case BusClass::HostRead:
+      case BusClass::HostWrite:
+        metrics->hostChannelWaitTicks += wait;
+        metrics->hostChannelGrants += 1;
+        break;
+      case BusClass::GcCopy:
+        metrics->gcChannelWaitTicks += wait;
+        metrics->gcChannelGrants += 1;
+        break;
+      case BusClass::EraseCmd:
+        metrics->eraseChannelWaitTicks += wait;
+        metrics->eraseChannelGrants += 1;
+        break;
+    }
+    const Tick release = agent.channelGranted();
+    AERO_CHECK(release >= now, "channel released before grant");
+    if (static_cast<std::size_t>(idx) < metrics->channelBusyTicks.size())
+        metrics->channelBusyTicks[idx] += release - now;
+    owned = true;
+    eq->scheduleChannelGrantAt(release, *this);
+}
+
+void
+Channel::onGrantDone()
+{
+    owned = false;
+    for (auto &q : waiters) {
+        if (q.empty())
+            continue;
+        const Waiter w = q.front();
+        q.pop_front();
+        const BusClass cls =
+            static_cast<BusClass>(static_cast<int>(&q - waiters.data()));
+        grantTo(*w.agent, cls, w.since);
+        return;
+    }
+}
+
+} // namespace aero

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared channel bus between the chips of one channel.
+ *
+ * Legacy arbitration keeps the original single-field model: a transfer
+ * reserves the bus by advancing `busyUntil`, so contention is folded into
+ * closed-form latency arithmetic at issue time (and pre-PR-8 behaviour is
+ * reproduced bit for bit).
+ *
+ * Queued arbitration models the bus as a resource with per-class FIFO
+ * grant queues: a chip *requests* the bus for a transfer (or an erase
+ * command issue), waits its turn, and is granted by a ChannelGrant event
+ * when the previous owner releases. Grants drain strictly by class
+ * priority — host reads > host writes > GC copies > erase commands — and
+ * FIFO within a class, so host and reclamation traffic genuinely contend
+ * and the wait each class suffers is measured into SsdMetrics.
+ */
+
+#ifndef AERO_SSD_CHANNEL_HH
+#define AERO_SSD_CHANNEL_HH
+
+#include <array>
+#include <deque>
+
+#include "sim/event_queue.hh"
+#include "ssd/metrics.hh"
+
+namespace aero
+{
+
+class ChipAgent;
+
+/** Grant-priority classes of queued arbitration, highest first. */
+enum class BusClass : std::uint8_t
+{
+    HostRead = 0,
+    HostWrite = 1,
+    GcCopy = 2,
+    EraseCmd = 3,
+};
+
+constexpr int kBusClasses = 4;
+
+class Channel
+{
+  public:
+    /** Legacy arbitration: end of the last reserved transfer slot. */
+    Tick busyUntil = 0;
+
+    /** Wire the queued-arbitration machinery (FTL does this at mount). */
+    void init(int index, EventQueue *eq_, SsdMetrics *metrics_);
+
+    int index() const { return idx; }
+
+    /**
+     * Queued arbitration: request the bus. Grants immediately when the
+     * bus is free, otherwise enqueues; the agent's channelGranted() runs
+     * at grant time and returns the tick it releases the bus.
+     */
+    void request(ChipAgent &agent, BusClass cls);
+
+    /** Nothing owned, nothing waiting? */
+    bool quiet() const;
+
+  private:
+    friend class EventQueue;  //!< tagged-event dispatch entry point
+
+    struct Waiter
+    {
+        ChipAgent *agent = nullptr;
+        Tick since = 0;
+    };
+
+    /** ChannelGrant dispatch target: the bus was released. */
+    void onGrantDone();
+    void grantTo(ChipAgent &agent, BusClass cls, Tick since);
+
+    std::array<std::deque<Waiter>, kBusClasses> waiters;
+    bool owned = false;
+    int idx = 0;
+    EventQueue *eq = nullptr;
+    SsdMetrics *metrics = nullptr;
+};
+
+} // namespace aero
+
+#endif // AERO_SSD_CHANNEL_HH

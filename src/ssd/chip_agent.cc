@@ -136,15 +136,39 @@ ChipAgent::dispatch()
     }
 }
 
+BusClass
+ChipAgent::busClassOf(const PageOp &op) const
+{
+    switch (op.kind) {
+      case PageOp::Kind::UserRead: return BusClass::HostRead;
+      case PageOp::Kind::UserWrite: return BusClass::HostWrite;
+      case PageOp::Kind::GcRead:
+      case PageOp::Kind::GcWrite: return BusClass::GcCopy;
+    }
+    return BusClass::HostRead;
+}
+
 void
 ChipAgent::startRead(PageOp op)
 {
     busy = true;
     inEraseSegment = false;
+    if (queued()) {
+        // Two-phase: run the on-die sense to completion, then compete
+        // for the channel; the transfer is scheduled at grant time.
+        curOp = op;
+        phase = Phase::Sense;
+        opEnd = eq.now() + nand.params().tRead;
+        pendingOp = eq.scheduleDieOpAt(opEnd, *this);
+        return;
+    }
     const Tick sense_done = eq.now() + nand.params().tRead;
     const Tick xfer_start = std::max(sense_done, channel.busyUntil);
     const Tick end = xfer_start + cfg.channelXferPerPage;
     channel.busyUntil = end;
+    if (static_cast<std::size_t>(channel.index()) <
+        metrics.channelBusyTicks.size())
+        metrics.channelBusyTicks[channel.index()] += cfg.channelXferPerPage;
     opEnd = end;
     pendingOp = eq.scheduleChipOpAt(end, *this, op);
 }
@@ -154,9 +178,20 @@ ChipAgent::startWrite(PageOp op)
 {
     busy = true;
     inEraseSegment = false;
+    if (queued()) {
+        // The data-in transfer needs the bus first; the on-die program
+        // starts once the transfer lands.
+        curOp = op;
+        phase = Phase::AwaitBus;
+        channel.request(*this, busClassOf(op));
+        return;
+    }
     const Tick xfer_start = std::max(eq.now(), channel.busyUntil);
     const Tick xfer_end = xfer_start + cfg.channelXferPerPage;
     channel.busyUntil = xfer_end;
+    if (static_cast<std::size_t>(channel.index()) <
+        metrics.channelBusyTicks.size())
+        metrics.channelBusyTicks[channel.index()] += cfg.channelXferPerPage;
     const Tick tprog = op.tprog ? op.tprog : nand.params().tProg;
     const Tick end = xfer_end + tprog;
     opEnd = end;
@@ -164,10 +199,51 @@ ChipAgent::startWrite(PageOp op)
 }
 
 void
+ChipAgent::onDieOpComplete()
+{
+    pendingOp = EventId{};
+    AERO_CHECK(phase == Phase::Sense, "die op completed outside a sense");
+    phase = Phase::AwaitBus;
+    channel.request(*this, busClassOf(curOp));
+}
+
+Tick
+ChipAgent::channelGranted()
+{
+    const Tick now = eq.now();
+    if (phase == Phase::EraseAwaitBus) {
+        // The bus carries only the command; the pulse runs on-die.
+        const Tick cmd_end = now + cfg.channelCmdOverhead;
+        const bool more = erase->session->nextSegment(erase->seg);
+        AERO_CHECK(more, "erase session exhausted unexpectedly");
+        phase = Phase::None;
+        inEraseSegment = true;
+        opEnd = cmd_end + erase->seg.duration;
+        metrics.eraseBusyTime += erase->seg.duration;
+        pendingOp = eq.scheduleEraseSegmentAt(opEnd, *this);
+        return cmd_end;
+    }
+    AERO_CHECK(phase == Phase::AwaitBus, "channel grant without a waiter");
+    phase = Phase::Xfer;
+    const Tick xfer_end = now + cfg.channelXferPerPage;
+    if (curOp.kind == PageOp::Kind::UserRead ||
+        curOp.kind == PageOp::Kind::GcRead) {
+        // Sense already ran; the op completes when the data is out.
+        opEnd = xfer_end;
+    } else {
+        const Tick tprog = curOp.tprog ? curOp.tprog : nand.params().tProg;
+        opEnd = xfer_end + tprog;
+    }
+    pendingOp = eq.scheduleChipOpAt(opEnd, *this, curOp);
+    return xfer_end;
+}
+
+void
 ChipAgent::onChipOpComplete(const PageOp &op)
 {
     pendingOp = EventId{};
     busy = false;
+    phase = Phase::None;
     ftl.onPageOpDone(op);
     dispatch();
 }
@@ -199,6 +275,15 @@ ChipAgent::startEraseWork()
         ae.block = block;
         ae.job = job;
         erase.emplace(std::move(ae));
+    }
+    if (queued()) {
+        // Every segment's command issue competes for the channel with
+        // host and GC transfers; the segment itself runs at grant time.
+        busy = true;
+        inEraseSegment = false;
+        phase = Phase::EraseAwaitBus;
+        channel.request(*this, BusClass::EraseCmd);
+        return;
     }
     // Perform the next loop functionally; charge its duration.
     const bool more = erase->session->nextSegment(erase->seg);

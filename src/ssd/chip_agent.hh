@@ -30,18 +30,13 @@
 
 #include "erase/scheme.hh"
 #include "sim/event_queue.hh"
+#include "ssd/channel.hh"
 #include "ssd/config.hh"
 #include "ssd/gc.hh"
 #include "ssd/metrics.hh"
 
 namespace aero
 {
-
-/** Shared channel bus: serializes page transfers of its chips. */
-struct Channel
-{
-    Tick busyUntil = 0;
-};
 
 /** Callbacks from agents into the FTL. */
 class FtlCallbacks
@@ -82,6 +77,7 @@ class ChipAgent
 
   private:
     friend class EventQueue;  //!< tagged-event dispatch entry points
+    friend class Channel;     //!< grants call channelGranted()
 
     struct ActiveErase
     {
@@ -94,6 +90,19 @@ class ChipAgent
         int suspensionsThisOp = 0;
     };
 
+    /** Queued arbitration: where the op in flight stands. */
+    enum class Phase : std::uint8_t
+    {
+        None,          //!< no queued-mode op in flight
+        Sense,         //!< read: on-die sense running
+        AwaitBus,      //!< page op waiting in the channel grant queue
+        Xfer,          //!< transfer (+ on-die program) scheduled
+        EraseAwaitBus, //!< erase command issue waiting for the channel
+    };
+
+    bool queued() const { return cfg.arbitration == Arbitration::Queued; }
+    BusClass busClassOf(const PageOp &op) const;
+
     void push(const PageOp &op);
     void dispatch();
     void startRead(PageOp op);
@@ -102,11 +111,18 @@ class ChipAgent
     void resumeErase();
     void finishEraseSegment();
 
+    /**
+     * Channel grant (queued mode): start the transfer (or erase command)
+     * this agent was waiting on. @return the tick the bus is released.
+     */
+    Tick channelGranted();
+
     /** @name Kernel dispatch targets (EventQueue::step() switch) */
     /** @{ */
     void onChipOpComplete(const PageOp &op);
     void onEraseSegmentDone();
     void onSuspendQuiesced();
+    void onDieOpComplete();
     /** @} */
 
     int chipIdx;
@@ -128,6 +144,12 @@ class ChipAgent
     bool inEraseSegment = false;
     Tick opEnd = 0;
     EventId pendingOp;  //!< completion event of the op in flight
+
+    /** @name Queued-arbitration in-flight state */
+    /** @{ */
+    Phase phase = Phase::None;
+    PageOp curOp;       //!< the page op crossing sense/bus/transfer phases
+    /** @} */
 };
 
 } // namespace aero

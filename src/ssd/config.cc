@@ -28,6 +28,27 @@ suspensionModeFromName(const std::string &name)
                "' (valid names: none, mid-segment)");
 }
 
+const char *
+arbitrationName(Arbitration mode)
+{
+    switch (mode) {
+      case Arbitration::Legacy: return "legacy";
+      case Arbitration::Queued: return "queued";
+    }
+    return "unknown";
+}
+
+Arbitration
+arbitrationFromName(const std::string &name)
+{
+    if (name == "legacy")
+        return Arbitration::Legacy;
+    if (name == "queued")
+        return Arbitration::Queued;
+    AERO_FATAL("unknown arbitration mode: '", name,
+               "' (valid names: legacy, queued)");
+}
+
 SsdConfig
 SsdConfig::paper()
 {
@@ -77,6 +98,9 @@ SsdConfig::summary() const
        << (suspension == SuspensionMode::MidSegment ? "enabled"
                                                     : "disabled")
        << "\n"
+       << "  arbitration:     " << arbitrationName(arbitration) << "\n"
+       << "  GC policy:       " << gcPolicy << "\n"
+       << "  wear leveling:   " << wearLevel << "\n"
        << "  initial PEC:     " << initialPec << "\n";
     return os.str();
 }

@@ -30,6 +30,31 @@ const char *suspensionModeName(SuspensionMode mode);
 /** Inverse of suspensionModeName(); fatal listing the valid names. */
 SuspensionMode suspensionModeFromName(const std::string &name);
 
+/**
+ * Channel/die arbitration model (PR 8).
+ *
+ * Legacy is the original closed-form reservation: a transfer claims the
+ * channel with `busyUntil = max(ready, busyUntil) + xfer` arithmetic, so
+ * contention is resolved at issue time and nothing ever queues. Queued
+ * models the bus explicitly: transfers and erase command issue wait in
+ * per-channel priority FIFOs (host reads > host writes > GC copies >
+ * erase commands) and are granted by ChannelGrant events, so host and
+ * reclamation traffic genuinely contend and the wait is measurable
+ * (SsdMetrics host/GC channel-wait counters). Legacy stays the default:
+ * every pre-PR-8 golden artifact is bit-identical under it.
+ */
+enum class Arbitration
+{
+    Legacy,   //!< closed-form busyUntil reservation (default)
+    Queued,   //!< event-driven per-channel grant queues
+};
+
+/** Stable name for reports and CLIs ("legacy" / "queued"). */
+const char *arbitrationName(Arbitration mode);
+
+/** Inverse of arbitrationName(); fatal listing the valid names. */
+Arbitration arbitrationFromName(const std::string &name);
+
 struct SsdConfig
 {
     /** @name Topology (Table 2) */
@@ -52,17 +77,23 @@ struct SsdConfig
     /** @{ */
     Tick channelXferPerPage = 13 * kUs;  //!< 16 KiB over ~1.2 GB/s ONFI
     Tick hostOverhead = 5 * kUs;         //!< NVMe/PCIe + FTL fixed cost
+    /** Queued arbitration: channel time to issue one erase command. */
+    Tick channelCmdOverhead = 1 * kUs;
     /** @} */
 
     /** @name Scheduling */
     /** @{ */
     SuspensionMode suspension = SuspensionMode::MidSegment;
+    Arbitration arbitration = Arbitration::Legacy;
     /** Time to quiesce the erase voltage before the chip is usable. */
     Tick suspendEntryLatency = 60 * kUs;
     Tick suspendResumeOverhead = 100 * kUs;
     int gcLowWatermark = 3;    //!< free blocks/plane that trigger GC
     int gcHighWatermark = 5;   //!< free blocks/plane where GC stops
     std::string gcPolicy = "greedy";  //!< victim selection (ssd/gc.hh)
+    std::string wearLevel = "none";   //!< WL policy (ssd/wear_level.hh)
+    /** Static WL: erase-count spread that triggers cold migration. */
+    int wlEraseDelta = 8;
     /** @} */
 
     /** @name Conditioning */

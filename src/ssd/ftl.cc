@@ -2,15 +2,30 @@
 
 #include "common/logging.hh"
 #include "core/aero_scheme.hh"
+#include "ssd/geometry.hh"
 
 namespace aero
 {
 
+SsdConfig
+Ftl::validated(SsdConfig cfg)
+{
+    // Runs before the mem-initializer list sizes any member off the
+    // geometry, so a misconfigured drive dies with a clear message
+    // instead of a huge allocation.
+    const DriveGeometry geo = DriveGeometry::of(cfg);
+    if (cfg.arbitration == Arbitration::Queued)
+        geo.validateQueued();
+    else
+        geo.validate();
+    return cfg;
+}
+
 Ftl::Ftl(const SsdConfig &cfg_, EventQueue &eq_)
-    : cfg(cfg_), eq(eq_),
-      mapping(cfg_.logicalPages(), cfg_.totalChips(),
-              cfg_.blocksPerChip(), cfg_.geometry.pagesPerBlock),
-      blocks(cfg_)
+    : cfg(validated(cfg_)), eq(eq_),
+      mapping(cfg.logicalPages(), cfg.totalChips(),
+              cfg.blocksPerChip(), cfg.geometry.pagesPerBlock),
+      blocks(cfg)
 {
     const auto params = ChipParams::forType(cfg.chipType);
     Rng seeder(cfg.seed);
@@ -21,6 +36,9 @@ Ftl::Ftl(const SsdConfig &cfg_, EventQueue &eq_)
     }
     preAge(cfg.initialPec);
     channels.resize(cfg.channels);
+    stats.channelBusyTicks.assign(cfg.channels, 0);
+    for (int c = 0; c < cfg.channels; ++c)
+        channels[c].init(c, &eq, &stats);
     for (int i = 0; i < cfg.totalChips(); ++i) {
         SchemeOptions opts = cfg.schemeOptions;
         opts.seed = seeder.next();
@@ -34,6 +52,10 @@ Ftl::Ftl(const SsdConfig &cfg_, EventQueue &eq_)
     gcJobs.resize(static_cast<std::size_t>(cfg.totalChips()) *
                   cfg.geometry.planes);
     gcPolicy = makeGcPolicy(cfg.gcPolicy);
+    wlPolicy = makeWearLevelPolicy(cfg.wearLevel);
+    lines = std::make_unique<LineManager>(cfg, *gcPolicy, blocks);
+    blocks.setLineManager(lines.get());
+    blocks.setWearPolicy(wlPolicy.get());
     burstTouched.assign(cfg.totalChips(), 0);
     burstChips.reserve(cfg.totalChips());
 }
@@ -91,7 +113,7 @@ Ftl::prefill()
             int page;
             if (!blocks.allocate(chip, plane, blk, page))
                 continue;
-            mapping.update(lpn, mapping.encode(chip, blk, page));
+            remap(lpn, mapping.encode(chip, blk, page));
             chips[chip].programPage(blk);
             placed = true;
             writePointer = (key + 1) % tries;
@@ -124,7 +146,7 @@ Ftl::warmup(std::uint64_t overwrites)
             if (!blocks.allocate(chip, plane, blk, page))
                 continue;
             writePointer = (key + 1) % tries;
-            mapping.update(lpn, mapping.encode(chip, blk, page));
+            remap(lpn, mapping.encode(chip, blk, page));
             chips[chip].programPage(blk);
             placed = true;
             if (blocks.freeBlocks(chip, plane) <= cfg.gcLowWatermark)
@@ -135,12 +157,23 @@ Ftl::warmup(std::uint64_t overwrites)
 }
 
 void
+Ftl::remap(Lpn lpn, Ppn ppn)
+{
+    const auto parts = mapping.decode(ppn);
+    const Ppn old = mapping.update(lpn, ppn);
+    lines->onPageMapped(parts.chip, parts.block);
+    if (old != kInvalidPpn) {
+        const auto prev = mapping.decode(old);
+        lines->onPageInvalidated(prev.chip, prev.block);
+    }
+}
+
+void
 Ftl::functionalGc(int chip, int plane)
 {
     // Inline, timing-free GC used only during warmup.
     while (blocks.freeBlocks(chip, plane) <= cfg.gcLowWatermark) {
-        const BlockId victim =
-            gcPolicy->pickVictim(mapping, blocks, chip, plane);
+        const BlockId victim = lines->pickVictim(chip, plane);
         if (victim == kInvalidBlock)
             return;
         if (mapping.validPages(chip, victim) >=
@@ -159,7 +192,7 @@ Ftl::functionalGc(int chip, int plane)
             bool ok = blocks.allocate(chip, plane, dst, dpage, true);
             AERO_CHECK(ok && dst != victim,
                        "warmup GC ran out of destination space");
-            mapping.update(lpn, mapping.encode(chip, dst, dpage));
+            remap(lpn, mapping.encode(chip, dst, dpage));
             chips[chip].programPage(dst);
         }
         eraseNow(*schemes[chip], victim);
@@ -251,7 +284,7 @@ Ftl::submitWritePage(Lpn lpn, std::uint64_t request_id)
             continue;
         writePointer = (key + 1) % tries;
         const Ppn ppn = mapping.encode(chip, blk, page);
-        mapping.update(lpn, ppn);
+        remap(lpn, ppn);
         chips[chip].programPage(blk);  // functional effect at issue
         PageOp op;
         op.kind = PageOp::Kind::UserWrite;
@@ -324,7 +357,10 @@ Ftl::onPageOpDone(const PageOp &op)
             gcStep(op.job);
         break;
       case PageOp::Kind::GcWrite:
-        stats.gcMigratedPages += 1;
+        if (op.job->wearLevel)
+            stats.wlMigratedPages += 1;
+        else
+            stats.gcMigratedPages += 1;
         op.job->migrated += 1;
         gcStep(op.job);
         break;
@@ -347,7 +383,7 @@ Ftl::issueGcWrite(GcJob *job, Lpn lpn)
         if (!blocks.allocate(chip, plane, blk, page, true))
             continue;
         const Ppn ppn = mapping.encode(chip, blk, page);
-        mapping.update(lpn, ppn);
+        remap(lpn, ppn);
         chips[chip].programPage(blk);
         PageOp op;
         op.kind = PageOp::Kind::GcWrite;
@@ -369,8 +405,7 @@ Ftl::maybeStartGc(int chip, int plane)
     auto &slot = gcJobs[planeKey(chip, plane)];
     if (slot)
         return;  // a job is already running on this plane
-    const BlockId victim =
-        gcPolicy->pickVictim(mapping, blocks, chip, plane);
+    const BlockId victim = lines->pickVictim(chip, plane);
     if (victim == kInvalidBlock)
         return;
     slot = std::make_unique<GcJob>();
@@ -379,6 +414,26 @@ Ftl::maybeStartGc(int chip, int plane)
     slot->victim = victim;
     activeGcJobs += 1;
     stats.gcInvocations += 1;
+    gcStep(slot.get());
+}
+
+void
+Ftl::maybeStartWearLevel(int chip, int plane)
+{
+    auto &slot = gcJobs[planeKey(chip, plane)];
+    if (slot)
+        return;  // the plane is busy (GC restarted first)
+    const BlockId victim =
+        wlPolicy->pickColdVictim(chip, plane, blocks, cfg.wlEraseDelta);
+    if (victim == kInvalidBlock)
+        return;
+    slot = std::make_unique<GcJob>();
+    slot->chip = chip;
+    slot->plane = plane;
+    slot->victim = victim;
+    slot->wearLevel = true;
+    activeGcJobs += 1;
+    stats.wlInvocations += 1;
     gcStep(slot.get());
 }
 
@@ -415,12 +470,18 @@ Ftl::onEraseDone(int chip, BlockId block, const EraseOutcome &outcome,
     blocks.onBlockErased(chip, block);
     if (job) {
         AERO_CHECK(job->victim == block, "GC job / erase mismatch");
+        const bool was_wear_level = job->wearLevel;
         auto &slot = gcJobs[planeKey(chip, job->plane)];
         AERO_CHECK(slot.get() == job, "GC job slot mismatch");
         slot.reset();
         activeGcJobs -= 1;
         retryStalledWrites();
-        maybeStartGc(chip, blocks.planeOf(block));
+        const int plane = blocks.planeOf(block);
+        maybeStartGc(chip, plane);
+        // A completed GC cycle may leave the plane's wear spread over the
+        // policy threshold; WL never chains off its own erase.
+        if (!was_wear_level)
+            maybeStartWearLevel(chip, plane);
     }
 }
 

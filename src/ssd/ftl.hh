@@ -17,7 +17,9 @@
 
 #include "ssd/block_manager.hh"
 #include "ssd/chip_agent.hh"
+#include "ssd/line_manager.hh"
 #include "ssd/mapping.hh"
+#include "ssd/wear_level.hh"
 #include "workload/trace.hh"
 
 namespace aero
@@ -57,6 +59,7 @@ class Ftl : public FtlCallbacks
     ChipAgent &agentAt(int i);
     const PageMapping &pageMapping() const { return mapping; }
     const BlockManager &blockManager() const { return blocks; }
+    const LineManager &lineManager() const { return *lines; }
 
     /** @name FtlCallbacks */
     /** @{ */
@@ -83,18 +86,24 @@ class Ftl : public FtlCallbacks
         std::uint64_t requestId;
     };
 
+    /** Validate the drive geometry before any member sizes off it. */
+    static SsdConfig validated(SsdConfig cfg);
+
     void submitReadPage(Lpn lpn, std::uint64_t request_id,
                         bool burst = false);
     /** Dispatch every agent the current read burst touched, in order. */
     void flushReadBurst();
     /** @return false if no plane had space (write stalled). */
     bool submitWritePage(Lpn lpn, std::uint64_t request_id);
+    /** Map lpn -> ppn and mirror both deltas into the line manager. */
+    void remap(Lpn lpn, Ppn ppn);
     void functionalGc(int chip, int plane);
     void issueGcWrite(GcJob *job, Lpn lpn);
     void completeRequestPage(std::uint64_t request_id);
     /** Kernel dispatch target: host-overhead completion fired. */
     void onHostPageDone(std::uint64_t request_id);
     void maybeStartGc(int chip, int plane);
+    void maybeStartWearLevel(int chip, int plane);
     void gcStep(GcJob *job);
     void retryStalledWrites();
     bool anyGcActive() const { return activeGcJobs > 0; }
@@ -110,6 +119,8 @@ class Ftl : public FtlCallbacks
     BlockManager blocks;
     SsdMetrics stats;
     std::unique_ptr<GcPolicy> gcPolicy;
+    std::unique_ptr<WearLevelPolicy> wlPolicy;
+    std::unique_ptr<LineManager> lines;
 
     /** @name Read-burst admission scratch (see flushReadBurst) */
     /** @{ */

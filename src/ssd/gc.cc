@@ -5,44 +5,15 @@
 namespace aero
 {
 
-BlockId
-GreedyGcPolicy::pickVictim(const PageMapping &mapping,
-                           const BlockManager &blocks, int chip,
-                           int plane) const
-{
-    BlockId best = kInvalidBlock;
-    int best_valid = 0x7fffffff;
-    for (const BlockId b : blocks.fullBlocks(chip, plane)) {
-        const int valid = mapping.validPages(chip, b);
-        if (valid < best_valid) {
-            best_valid = valid;
-            best = b;
-        }
-    }
-    return best;
-}
-
-BlockId
-FifoGcPolicy::pickVictim(const PageMapping &mapping,
-                         const BlockManager &blocks, int chip,
-                         int plane) const
-{
-    (void)mapping;
-    BlockId best = kInvalidBlock;
-    for (const BlockId b : blocks.fullBlocks(chip, plane)) {
-        if (best == kInvalidBlock || b < best)
-            best = b;
-    }
-    return best;
-}
-
 std::unique_ptr<GcPolicy>
 makeGcPolicy(const std::string &name)
 {
     if (name == "greedy")
         return std::make_unique<GreedyGcPolicy>();
-    if (name == "fifo")
-        return std::make_unique<FifoGcPolicy>();
+    if (name == "cost-benefit")
+        return std::make_unique<CostBenefitGcPolicy>();
+    if (name == "fifo-log" || name == "fifo")
+        return std::make_unique<FifoLogGcPolicy>();
     AERO_FATAL("unknown GC policy '", name, "' (valid: ", gcPolicyNames(),
                ")");
 }
@@ -50,7 +21,7 @@ makeGcPolicy(const std::string &name)
 const char *
 gcPolicyNames()
 {
-    return "greedy, fifo";
+    return "greedy, cost-benefit, fifo-log";
 }
 
 } // namespace aero

@@ -1,25 +1,47 @@
 /**
  * @file
- * Garbage-collection victim selection behind a policy interface. The
- * default GreedyGcPolicy is the paper's Table 2 GC policy [77]: the
- * victim is the full block with the fewest valid pages in the plane that
- * fell below the free-block watermark. The migration/erase orchestration
- * lives in the FTL; this module holds the policies and job bookkeeping.
+ * Garbage-collection victim selection behind a scoring-policy interface.
+ *
+ * Since PR 8 a policy no longer scans the plane itself: the LineManager
+ * (ssd/line_manager.hh) keeps every Full block in a per-plane priority
+ * queue keyed by the policy's score and updates it in O(log n) on each
+ * page invalidation, so victim selection is a heap peek instead of the
+ * old O(blocks) rescan. Policies therefore only define an ordering:
+ * score() (lower is better) plus a tieBreak() key, with the block id as
+ * the final tie-breaker so the order is total and selection is
+ * deterministic.
+ *
+ * Registered policies:
+ *  - greedy:       fewest valid pages (the paper's Table 2 policy [77]);
+ *                  ties fall to the lowest block id, reproducing the
+ *                  pre-PR-8 scan exactly.
+ *  - cost-benefit: migration cost over reclaimed space, weighted by the
+ *                  block's erase count so worn blocks are cycled less
+ *                  (Kawaguchi-style, with wear standing in for age);
+ *                  ties prefer the oldest fill.
+ *  - fifo-log:     strict log order — the block whose current fill was
+ *                  opened first, independent of valid-page count. The
+ *                  old "fifo" policy used the numeric block id, which
+ *                  breaks down as soon as an erased block is refilled;
+ *                  the allocation stamp survives reuse cycles.
+ *
+ * The migration/erase orchestration lives in the FTL; this module holds
+ * the policies and job bookkeeping.
  */
 
 #ifndef AERO_SSD_GC_HH
 #define AERO_SSD_GC_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
-#include "ssd/block_manager.hh"
-#include "ssd/mapping.hh"
+#include "common/types.hh"
 
 namespace aero
 {
 
-/** One in-flight GC operation on a plane. */
+/** One in-flight GC (or wear-leveling) operation on a plane. */
 struct GcJob
 {
     int chip = -1;
@@ -28,50 +50,104 @@ struct GcJob
     int nextPage = 0;       //!< scan cursor over the victim's pages
     int migrated = 0;       //!< pages actually copied
     bool eraseIssued = false;
+    bool wearLevel = false; //!< cold-data relocation, not reclamation
 };
 
-/** Victim-selection policy. Implementations must be deterministic. */
+/** Everything a policy may score a Full block by. */
+struct GcLineInfo
+{
+    BlockId block = kInvalidBlock;
+    int validPages = 0;
+    int pagesPerBlock = 0;
+    std::uint64_t openSeq = 0;     //!< drive-wide stamp of the current fill
+    std::uint64_t eraseCount = 0;  //!< completed erases of this block
+};
+
+/**
+ * Victim-selection policy: a deterministic ordering over Full blocks.
+ * Lower (score, tieBreak, block) wins.
+ */
 class GcPolicy
 {
   public:
     virtual ~GcPolicy() = default;
 
-    /**
-     * Pick the victim block among the plane's full blocks.
-     * @return kInvalidBlock when the plane has no full blocks.
-     */
-    virtual BlockId pickVictim(const PageMapping &mapping,
-                               const BlockManager &blocks, int chip,
-                               int plane) const = 0;
+    /** Victim badness; lower is better. Must be a pure function. */
+    virtual double score(const GcLineInfo &line) const = 0;
 
-    /** Stable registry name ("greedy", "fifo", ...). */
+    /** Secondary key when scores tie exactly. */
+    virtual std::uint64_t
+    tieBreak(const GcLineInfo &line) const
+    {
+        return line.openSeq;
+    }
+
+    /** Stable registry name ("greedy", "cost-benefit", "fifo-log"). */
     virtual const char *name() const = 0;
 };
 
-/** Full block with the fewest valid pages; first-lowest wins ties. */
+/** Fewest valid pages; ties fall to the lowest block id. */
 class GreedyGcPolicy : public GcPolicy
 {
   public:
-    BlockId pickVictim(const PageMapping &mapping,
-                       const BlockManager &blocks, int chip,
-                       int plane) const override;
+    double
+    score(const GcLineInfo &line) const override
+    {
+        return static_cast<double>(line.validPages);
+    }
+
+    std::uint64_t
+    tieBreak(const GcLineInfo &line) const override
+    {
+        return line.block;
+    }
+
     const char *name() const override { return "greedy"; }
 };
 
-/**
- * Oldest full block (lowest block id), regardless of valid-page count.
- * A deliberately naive baseline for write-amplification comparisons.
- */
-class FifoGcPolicy : public GcPolicy
+/** Wear-weighted cost/benefit; ties prefer the oldest fill. */
+class CostBenefitGcPolicy : public GcPolicy
 {
   public:
-    BlockId pickVictim(const PageMapping &mapping,
-                       const BlockManager &blocks, int chip,
-                       int plane) const override;
-    const char *name() const override { return "fifo"; }
+    double
+    score(const GcLineInfo &line) const override
+    {
+        // cost (pages to migrate) over benefit (pages reclaimed, +1 so a
+        // fully-valid block stays finite), scaled up with wear so heavily
+        // cycled blocks become unattractive victims.
+        const double cost = static_cast<double>(line.validPages);
+        const double benefit =
+            static_cast<double>(line.pagesPerBlock - line.validPages + 1);
+        const double wear = 1.0 + static_cast<double>(line.eraseCount);
+        return cost / benefit * wear;
+    }
+
+    const char *name() const override { return "cost-benefit"; }
 };
 
-/** Instantiate a policy by registry name; fatal listing valid names. */
+/** Oldest fill first (true log order, robust to block reuse). */
+class FifoLogGcPolicy : public GcPolicy
+{
+  public:
+    double
+    score(const GcLineInfo &line) const override
+    {
+        return static_cast<double>(line.openSeq);
+    }
+
+    std::uint64_t
+    tieBreak(const GcLineInfo &line) const override
+    {
+        return line.block;
+    }
+
+    const char *name() const override { return "fifo-log"; }
+};
+
+/**
+ * Instantiate a policy by registry name; fatal listing valid names.
+ * "fifo" is accepted as an alias for "fifo-log".
+ */
 std::unique_ptr<GcPolicy> makeGcPolicy(const std::string &name);
 
 /** Comma-separated list of registered policy names. */

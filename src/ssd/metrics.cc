@@ -19,6 +19,15 @@ SsdMetrics::summary() const
        << "erases " << erases << " (avg " << avgEraseLatencyMs()
        << " ms, " << eraseSuspensions << " suspensions), GC "
        << gcInvocations << " jobs / " << gcMigratedPages << " pages\n";
+    if (wlInvocations > 0) {
+        os << "wear leveling " << wlInvocations << " jobs / "
+           << wlMigratedPages << " pages\n";
+    }
+    if (hostChannelGrants + gcChannelGrants > 0) {
+        os << "channel waits: host " << avgHostChannelWaitUs()
+           << " us avg, GC " << avgGcChannelWaitUs()
+           << " us avg, max util " << maxChannelUtilization() << "\n";
+    }
     return os.str();
 }
 

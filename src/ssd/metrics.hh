@@ -54,6 +54,29 @@ struct SsdMetrics
     std::uint64_t gcInvocations = 0;
     std::uint64_t gcMigratedPages = 0;
 
+    /** @name Wear leveling (ssd/wear_level.hh) */
+    /** @{ */
+    std::uint64_t wlInvocations = 0;
+    std::uint64_t wlMigratedPages = 0;
+    /** @} */
+
+    /**
+     * @name Channel arbitration
+     * Busy ticks accrue under both arbitration models (the reserved
+     * transfer slice in legacy, the granted slice in queued); the
+     * wait/grant counters only move under queued arbitration, where
+     * requests actually queue (ssd/channel.hh).
+     */
+    /** @{ */
+    std::vector<Tick> channelBusyTicks;  //!< per channel, transfer time
+    Tick hostChannelWaitTicks = 0;
+    std::uint64_t hostChannelGrants = 0;
+    Tick gcChannelWaitTicks = 0;
+    std::uint64_t gcChannelGrants = 0;
+    Tick eraseChannelWaitTicks = 0;
+    std::uint64_t eraseChannelGrants = 0;
+    /** @} */
+
     Tick simulatedTime = 0;
 
     double
@@ -74,14 +97,68 @@ struct SsdMetrics
         return ticksToMs(eraseBusyTime) / static_cast<double>(erases);
     }
 
-    /** Write amplification: (user + GC writes) / user writes. */
+    /** Write amplification: (user + GC + WL writes) / user writes. */
     double
     writeAmplification() const
     {
         if (writes == 0)
             return 0.0;
+        return static_cast<double>(writes + gcMigratedPages +
+                                   wlMigratedPages) /
+               static_cast<double>(writes);
+    }
+
+    /** GC's contribution to write amplification (excludes WL copies). */
+    double
+    gcWriteAmplification() const
+    {
+        if (writes == 0)
+            return 0.0;
         return static_cast<double>(writes + gcMigratedPages) /
                static_cast<double>(writes);
+    }
+
+    /** Fraction of simulated time channel `ch` spent transferring. */
+    double
+    channelUtilization(int ch) const
+    {
+        if (simulatedTime == 0 ||
+            static_cast<std::size_t>(ch) >= channelBusyTicks.size())
+            return 0.0;
+        return static_cast<double>(channelBusyTicks[ch]) /
+               static_cast<double>(simulatedTime);
+    }
+
+    double
+    maxChannelUtilization() const
+    {
+        double max_util = 0.0;
+        for (std::size_t c = 0; c < channelBusyTicks.size(); ++c) {
+            const double u = channelUtilization(static_cast<int>(c));
+            if (u > max_util)
+                max_util = u;
+        }
+        return max_util;
+    }
+
+    /** Mean bus-queueing delay a host transfer suffered (queued mode). */
+    double
+    avgHostChannelWaitUs() const
+    {
+        if (hostChannelGrants == 0)
+            return 0.0;
+        return ticksToUs(hostChannelWaitTicks) /
+               static_cast<double>(hostChannelGrants);
+    }
+
+    /** Mean bus-queueing delay a GC copy suffered (queued mode). */
+    double
+    avgGcChannelWaitUs() const
+    {
+        if (gcChannelGrants == 0)
+            return 0.0;
+        return ticksToUs(gcChannelWaitTicks) /
+               static_cast<double>(gcChannelGrants);
     }
 
     std::string summary() const;

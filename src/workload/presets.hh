@@ -21,10 +21,10 @@ struct WorkloadSpec
 {
     std::string name;          //!< paper abbreviation (ali.A, rsrch, ...)
     std::string sourceTrace;   //!< original trace name
-    double readRatio;          //!< fraction of read requests
-    double avgReqSizeKB;       //!< mean request size
-    double interArrivalMs;     //!< mean inter-arrival as published
-    bool msrc;                 //!< MSRC trace: 10x accelerated
+    double readRatio = 0.0;    //!< fraction of read requests
+    double avgReqSizeKB = 0.0; //!< mean request size
+    double interArrivalMs = 0.0; //!< mean inter-arrival as published
+    bool msrc = false;         //!< MSRC trace: 10x accelerated
 
     /** Inter-arrival actually used for generation/evaluation. */
     double

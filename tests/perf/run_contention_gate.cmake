@@ -1,0 +1,51 @@
+# The channel-arbitration perf gate, run as a CTest driver:
+#
+#   cmake -DBENCH=<bench_contention-binary> -DDIFF=<aero_diff-binary>
+#         -DBASELINE=<checked-in BENCH_contention.json> -DOUT=<scratch json>
+#         [-DREL_TOL=<tol>] -P run_contention_gate.cmake
+#
+# Regenerates the --small contention artifact and diffs it against the
+# checked-in baseline, with the same gating split as run_perf_gate.cmake:
+#
+#   * deterministic counts (events_total, final_tick, erases, channel
+#     grants, events_per_request, event_ratio_queued_over_legacy) compare
+#     exactly — drift under either arbitration model means the kernel or
+#     the grant path changed behaviour;
+#   * the queued-vs-legacy wall-clock multiple is gated through its
+#     threshold boolean (summary.queued_slowdown_le_3), which is
+#     machine-normalized: legacy is re-measured in the same run;
+#   * machine-absolute rates (requests_per_sec) and the raw slowdown
+#     ratio are recorded for trajectory plots but ignored by the diff.
+#
+# To refresh the baseline after an intentional change:
+#   cmake --build build --target regen-perf-baseline
+
+if(NOT DEFINED REL_TOL)
+    # Only reaches deterministic floats (events_per_request and the
+    # event-count ratio); everything noisy is thresholded or ignored.
+    set(REL_TOL 1e-6)
+endif()
+
+execute_process(
+    COMMAND "${BENCH}" --small --json "${OUT}"
+    RESULT_VARIABLE bench_rc
+    OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "bench '${BENCH}' failed (exit ${bench_rc})")
+endif()
+
+execute_process(
+    COMMAND "${DIFF}" "${BASELINE}" "${OUT}" --rel-tol "${REL_TOL}"
+        --ignore requests_per_sec
+        --ignore replay_slowdown_queued
+    RESULT_VARIABLE diff_rc
+    OUTPUT_VARIABLE diff_out
+    ECHO_OUTPUT_VARIABLE)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "contention bench drifted from ${BASELINE} "
+        "(aero_diff exit ${diff_rc}); deterministic-count drift means a "
+        "behaviour change in an arbitration model, a flipped slowdown "
+        "threshold means the queued grant path regressed. If "
+        "intentional, refresh with the 'regen-perf-baseline' target")
+endif()

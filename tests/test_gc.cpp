@@ -1,110 +1,523 @@
 /**
  * @file
- * Unit tests for GC victim selection (ssd/gc.hh): the greedy policy's
- * min-valid choice and tie-breaking, the fifo baseline, and the
- * name-based policy registry the SsdConfig::gcPolicy knob resolves
- * through.
+ * GC victim-selection battery (ssd/gc.hh + ssd/line_manager.hh): policy
+ * scoring units, the name registry, the fifo-log reuse-cycle regression,
+ * a randomized differential check of the incremental victim heap against
+ * a brute-force rescan (10k sequences per registered policy), and a
+ * 50k-op mixed host/GC/WL fuzz asserting mapping bijectivity, free-page
+ * accounting and wear-count conservation after every reclamation cycle.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
+#include <random>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
+#include "ssd/block_manager.hh"
 #include "ssd/config.hh"
 #include "ssd/gc.hh"
+#include "ssd/line_manager.hh"
+#include "ssd/mapping.hh"
+#include "ssd/wear_level.hh"
 
 namespace aero
 {
 namespace
 {
 
-/**
- * A plane with three full blocks holding a controlled number of valid
- * pages each: fill blocks back-to-back through the BlockManager, then
- * invalidate LPNs until block i keeps `valid[i]` pages.
- */
-struct PlaneFixture
+GcLineInfo
+line(BlockId block, int valid, int ppb, std::uint64_t open_seq,
+     std::uint64_t ec)
 {
-    SsdConfig cfg = SsdConfig::tiny();
-    BlockManager blocks;
-    PageMapping mapping;
-    std::vector<BlockId> full;
-
-    explicit PlaneFixture(const std::vector<int> &valid)
-        : blocks(cfg),
-          mapping(cfg.logicalPages(), cfg.totalChips(),
-                  cfg.blocksPerChip(), cfg.geometry.pagesPerBlock)
-    {
-        Lpn next_lpn = 0;
-        for (const int keep : valid) {
-            BlockId blk = kInvalidBlock;
-            int page = 0;
-            for (int i = 0; i < cfg.geometry.pagesPerBlock; ++i) {
-                AERO_CHECK(blocks.allocate(0, 0, blk, page),
-                           "fixture plane ran out of blocks");
-                mapping.update(next_lpn++, mapping.encode(0, blk, page));
-            }
-            full.push_back(blk);
-            // Invalidate from the tail so `keep` valid pages remain.
-            for (int i = 0; i < cfg.geometry.pagesPerBlock - keep; ++i)
-                mapping.invalidateLpn(next_lpn - 1 - i);
-        }
-    }
-};
-
-TEST(GcPolicy, GreedyPicksFewestValidPages)
-{
-    PlaneFixture fx({5, 2, 9});
-    GreedyGcPolicy greedy;
-    EXPECT_EQ(greedy.pickVictim(fx.mapping, fx.blocks, 0, 0), fx.full[1]);
+    GcLineInfo info;
+    info.block = block;
+    info.validPages = valid;
+    info.pagesPerBlock = ppb;
+    info.openSeq = open_seq;
+    info.eraseCount = ec;
+    return info;
 }
 
-TEST(GcPolicy, GreedyBreaksTiesTowardLowestBlockId)
+TEST(GcPolicyScore, GreedyOrdersByValidPagesAndBreaksTiesByBlockId)
 {
-    PlaneFixture fx({4, 4, 4});
     GreedyGcPolicy greedy;
-    const BlockId victim =
-        greedy.pickVictim(fx.mapping, fx.blocks, 0, 0);
-    EXPECT_EQ(victim, *std::min_element(fx.full.begin(), fx.full.end()));
+    EXPECT_LT(greedy.score(line(0, 2, 32, 9, 0)),
+              greedy.score(line(1, 5, 32, 1, 0)));
+    // Equal valid counts: the lower block id must win the tie-break so
+    // the heap reproduces the old ascending plane scan exactly.
+    EXPECT_EQ(greedy.score(line(3, 4, 32, 1, 0)),
+              greedy.score(line(7, 4, 32, 2, 0)));
+    EXPECT_LT(greedy.tieBreak(line(3, 4, 32, 9, 0)),
+              greedy.tieBreak(line(7, 4, 32, 1, 0)));
 }
 
-TEST(GcPolicy, FifoPicksLowestBlockIdRegardlessOfValidCount)
+TEST(GcPolicyScore, CostBenefitPrefersEmptierAndYoungerBlocks)
 {
-    PlaneFixture fx({9, 1, 5});
-    FifoGcPolicy fifo;
-    EXPECT_EQ(fifo.pickVictim(fx.mapping, fx.blocks, 0, 0),
-              *std::min_element(fx.full.begin(), fx.full.end()));
+    CostBenefitGcPolicy cb;
+    // Fewer valid pages -> cheaper migration and more reclaimed space.
+    EXPECT_LT(cb.score(line(0, 2, 32, 1, 0)), cb.score(line(1, 20, 32, 1, 0)));
+    // Same occupancy but more wear -> worse victim.
+    EXPECT_LT(cb.score(line(0, 8, 32, 1, 1)), cb.score(line(1, 8, 32, 1, 5)));
+    // An empty block scores zero regardless of wear.
+    EXPECT_EQ(cb.score(line(0, 0, 32, 1, 100)), 0.0);
 }
 
-TEST(GcPolicy, NoFullBlocksMeansNoVictim)
+TEST(GcPolicyScore, FifoLogOrdersByFillGeneration)
 {
-    const SsdConfig cfg = SsdConfig::tiny();
-    BlockManager blocks(cfg);
-    PageMapping mapping(cfg.logicalPages(), cfg.totalChips(),
-                        cfg.blocksPerChip(), cfg.geometry.pagesPerBlock);
-    GreedyGcPolicy greedy;
-    FifoGcPolicy fifo;
-    EXPECT_EQ(greedy.pickVictim(mapping, blocks, 0, 0), kInvalidBlock);
-    EXPECT_EQ(fifo.pickVictim(mapping, blocks, 0, 0), kInvalidBlock);
+    FifoLogGcPolicy fifo;
+    EXPECT_LT(fifo.score(line(9, 30, 32, 1, 0)),
+              fifo.score(line(0, 0, 32, 2, 0)));
 }
 
 TEST(GcPolicy, RegistryRoundTripsNames)
 {
-    const auto greedy = makeGcPolicy("greedy");
-    const auto fifo = makeGcPolicy("fifo");
-    EXPECT_STREQ(greedy->name(), "greedy");
-    EXPECT_STREQ(fifo->name(), "fifo");
-    EXPECT_NE(std::string(gcPolicyNames()).find("greedy"),
-              std::string::npos);
-    EXPECT_NE(std::string(gcPolicyNames()).find("fifo"),
-              std::string::npos);
+    EXPECT_STREQ(makeGcPolicy("greedy")->name(), "greedy");
+    EXPECT_STREQ(makeGcPolicy("cost-benefit")->name(), "cost-benefit");
+    EXPECT_STREQ(makeGcPolicy("fifo-log")->name(), "fifo-log");
+    // The old "fifo" spelling stays accepted as an alias.
+    EXPECT_STREQ(makeGcPolicy("fifo")->name(), "fifo-log");
+    const std::string names = gcPolicyNames();
+    EXPECT_NE(names.find("greedy"), std::string::npos);
+    EXPECT_NE(names.find("cost-benefit"), std::string::npos);
+    EXPECT_NE(names.find("fifo-log"), std::string::npos);
 }
 
 TEST(GcPolicy, UnknownNameIsFatalAndListsChoices)
 {
-    EXPECT_DEATH((void)makeGcPolicy("lru"), "greedy");
+    EXPECT_DEATH((void)makeGcPolicy("lru"),
+                 "greedy, cost-benefit, fifo-log");
+}
+
+/**
+ * A tiny drive's worth of BlockManager + LineManager + PageMapping wired
+ * together the way the FTL wires them, with functional write/trim/GC
+ * helpers mirroring Ftl::remap() and functionalGc().
+ */
+struct LineFixture
+{
+    SsdConfig cfg;
+    std::unique_ptr<GcPolicy> policy;
+    BlockManager blocks;
+    LineManager lines;
+    PageMapping mapping;
+    Lpn nextLpn = 0;
+
+    explicit LineFixture(const std::string &policy_name = "greedy")
+        : cfg(SsdConfig::tiny()), policy(makeGcPolicy(policy_name)),
+          blocks(cfg), lines(cfg, *policy, blocks),
+          mapping(cfg.logicalPages(), cfg.totalChips(), cfg.blocksPerChip(),
+                  cfg.geometry.pagesPerBlock)
+    {
+        blocks.setLineManager(&lines);
+    }
+
+    int pagesPerBlock() const { return cfg.geometry.pagesPerBlock; }
+
+    /** Mirror of Ftl::remap(): map and report both deltas to the lines. */
+    void
+    remap(Lpn lpn, Ppn ppn)
+    {
+        const Ppn old = mapping.update(lpn, ppn);
+        const PpnParts parts = mapping.decode(ppn);
+        lines.onPageMapped(parts.chip, parts.block);
+        if (old != kInvalidPpn) {
+            const PpnParts prev = mapping.decode(old);
+            lines.onPageInvalidated(prev.chip, prev.block);
+        }
+    }
+
+    /** @return false when the plane is out of user space. */
+    bool
+    writePage(Lpn lpn, int chip, int plane)
+    {
+        BlockId blk = kInvalidBlock;
+        int page = 0;
+        if (!blocks.allocate(chip, plane, blk, page))
+            return false;
+        remap(lpn, mapping.encode(chip, blk, page));
+        return true;
+    }
+
+    /** Write pagesPerBlock fresh LPNs; @return the block they filled. */
+    BlockId
+    fillBlock(int chip, int plane)
+    {
+        BlockId blk = kInvalidBlock;
+        for (int i = 0; i < pagesPerBlock(); ++i) {
+            int page = 0;
+            AERO_CHECK(blocks.allocate(chip, plane, blk, page),
+                       "fixture plane ran out of blocks");
+            remap(nextLpn++, mapping.encode(chip, blk, page));
+        }
+        return blk;
+    }
+
+    void
+    trim(Lpn lpn)
+    {
+        const Ppn old = mapping.lookup(lpn);
+        if (old == kInvalidPpn)
+            return;
+        mapping.invalidateLpn(lpn);
+        const PpnParts parts = mapping.decode(old);
+        lines.onPageInvalidated(parts.chip, parts.block);
+    }
+
+    /** Functional GC: migrate every valid page off `victim`, erase it. */
+    void
+    collect(int chip, BlockId victim)
+    {
+        const int plane = blocks.planeOf(victim);
+        for (int page = 0; page < pagesPerBlock(); ++page) {
+            const Lpn lpn =
+                mapping.reverseLookup(mapping.encode(chip, victim, page));
+            if (lpn == kInvalidLpn)
+                continue;
+            BlockId dst = kInvalidBlock;
+            int dst_page = 0;
+            AERO_CHECK(blocks.allocate(chip, plane, dst, dst_page, true),
+                       "GC found no relocation target");
+            remap(lpn, mapping.encode(chip, dst, dst_page));
+        }
+        mapping.onBlockErased(chip, victim);
+        blocks.onBlockErased(chip, victim);
+    }
+};
+
+TEST(LineManager, GreedyPicksFewestValidPages)
+{
+    LineFixture fx;
+    const std::vector<int> keep = {5, 2, 9};
+    std::vector<BlockId> full;
+    for (const int k : keep) {
+        full.push_back(fx.fillBlock(0, 0));
+        for (int i = 0; i < fx.pagesPerBlock() - k; ++i)
+            fx.trim(fx.nextLpn - 1 - static_cast<Lpn>(i));
+    }
+    EXPECT_EQ(fx.lines.pickVictim(0, 0), full[1]);
+    EXPECT_EQ(fx.lines.bruteForceVictim(0, 0), full[1]);
+}
+
+TEST(LineManager, GreedyBreaksTiesTowardLowestBlockId)
+{
+    LineFixture fx;
+    std::vector<BlockId> full;
+    for (int b = 0; b < 3; ++b) {
+        full.push_back(fx.fillBlock(0, 0));
+        for (int i = 0; i < fx.pagesPerBlock() - 4; ++i)
+            fx.trim(fx.nextLpn - 1 - static_cast<Lpn>(i));
+    }
+    EXPECT_EQ(fx.lines.pickVictim(0, 0),
+              *std::min_element(full.begin(), full.end()));
+}
+
+TEST(LineManager, NoFullBlocksMeansNoVictim)
+{
+    LineFixture fx;
+    EXPECT_EQ(fx.lines.pickVictim(0, 0), kInvalidBlock);
+    EXPECT_EQ(fx.lines.bruteForceVictim(0, 0), kInvalidBlock);
+    EXPECT_EQ(fx.lines.fullCount(0, 0), 0u);
+    // An Open (not yet Full) block is not a candidate either.
+    BlockId blk = kInvalidBlock;
+    int page = 0;
+    ASSERT_TRUE(fx.blocks.allocate(0, 0, blk, page));
+    EXPECT_EQ(fx.lines.pickVictim(0, 0), kInvalidBlock);
+}
+
+TEST(LineManager, ErasedVictimLeavesTheHeap)
+{
+    LineFixture fx;
+    const BlockId a = fx.fillBlock(0, 0);
+    const BlockId b = fx.fillBlock(0, 0);
+    // Empty block a entirely so collecting it migrates nothing.
+    for (Lpn lpn = 0; lpn < static_cast<Lpn>(fx.pagesPerBlock()); ++lpn)
+        fx.trim(lpn);
+    ASSERT_EQ(fx.lines.pickVictim(0, 0), a);
+    fx.collect(0, a);
+    EXPECT_EQ(fx.lines.pickVictim(0, 0), b);
+    const auto remaining = fx.lines.fullBlocks(0, 0);
+    EXPECT_EQ(remaining, std::vector<BlockId>{b});
+}
+
+/**
+ * Reuse-cycle regression: the old fifo policy ordered victims by numeric
+ * block id, which replays an erased-and-refilled low-id block ahead of
+ * data written long before it. fifo-log must pick the oldest *fill*.
+ */
+TEST(LineManager, FifoLogSurvivesBlockReuse)
+{
+    LineFixture fx("fifo-log");
+    const BlockId a = fx.fillBlock(0, 0);
+    const BlockId b = fx.fillBlock(0, 0);
+    ASSERT_LT(a, b);
+    // Invalidate and erase a, then refill it: a's fill is now the newest.
+    for (Lpn lpn = 0; lpn < static_cast<Lpn>(fx.pagesPerBlock()); ++lpn)
+        fx.trim(lpn);
+    fx.collect(0, a);
+    const BlockId a_again = fx.fillBlock(0, 0);
+    ASSERT_EQ(a_again, a);  // LIFO free list hands the same block back
+    const BlockId c = fx.fillBlock(0, 0);
+    ASSERT_NE(c, a);
+    // Block-id order would pick a; log order must pick b.
+    EXPECT_EQ(fx.lines.pickVictim(0, 0), b);
+    EXPECT_LT(fx.lines.lineInfo(0, b).openSeq,
+              fx.lines.lineInfo(0, a).openSeq);
+}
+
+TEST(LineManager, TracksValidCountsAgainstTheMapping)
+{
+    LineFixture fx;
+    for (int b = 0; b < 4; ++b)
+        fx.fillBlock(0, 0);
+    std::mt19937_64 rng(17);
+    for (int i = 0; i < 64; ++i)
+        fx.trim(rng() % fx.nextLpn);
+    for (const BlockId blk : fx.lines.fullBlocks(0, 0))
+        EXPECT_EQ(fx.lines.trackedValid(0, blk),
+                  fx.mapping.validPages(0, blk));
+}
+
+/**
+ * Differential engine: one randomized churn step (overwrite / trim /
+ * GC), then require the incremental heap and the brute-force rescan to
+ * agree on every plane. Each step is one randomized invalidation
+ * sequence against a drive state no other step has seen.
+ */
+void
+differentialChurn(const std::string &policy_name, std::uint64_t seed,
+                  int steps)
+{
+    LineFixture fx(policy_name);
+    std::mt19937_64 rng(seed);
+    // Start from a mostly-written drive so Full blocks exist early.
+    const Lpn span = fx.cfg.logicalPages();
+    for (Lpn lpn = 0; lpn < span / 2; ++lpn) {
+        const int chip = static_cast<int>(rng() % fx.cfg.totalChips());
+        const int plane = static_cast<int>(rng() % fx.cfg.geometry.planes);
+        ASSERT_TRUE(fx.writePage(lpn, chip, plane));
+    }
+    for (int step = 0; step < steps; ++step) {
+        const int chip = static_cast<int>(rng() % fx.cfg.totalChips());
+        const int plane = static_cast<int>(rng() % fx.cfg.geometry.planes);
+        // Reclaim ahead of the writes so allocation never wedges.
+        if (fx.blocks.freeBlocks(chip, plane) <=
+            fx.cfg.gcLowWatermark) {
+            const BlockId victim = fx.lines.pickVictim(chip, plane);
+            if (victim != kInvalidBlock)
+                fx.collect(chip, victim);
+        }
+        const std::uint64_t dice = rng() % 10;
+        if (dice < 7) {
+            ASSERT_TRUE(fx.writePage(rng() % span, chip, plane));
+        } else if (dice < 9) {
+            fx.trim(rng() % span);
+        } else {
+            const BlockId victim = fx.lines.pickVictim(chip, plane);
+            if (victim != kInvalidBlock)
+                fx.collect(chip, victim);
+        }
+        for (int c = 0; c < fx.cfg.totalChips(); ++c) {
+            for (int p = 0; p < fx.cfg.geometry.planes; ++p) {
+                ASSERT_EQ(fx.lines.pickVictim(c, p),
+                          fx.lines.bruteForceVictim(c, p))
+                    << policy_name << " diverged at step " << step
+                    << " chip " << c << " plane " << p;
+            }
+        }
+    }
+}
+
+TEST(LineManagerDifferential, GreedyMatchesBruteForceOver10kSequences)
+{
+    differentialChurn("greedy", 0xAE01, 10000);
+}
+
+TEST(LineManagerDifferential, CostBenefitMatchesBruteForceOver10kSequences)
+{
+    differentialChurn("cost-benefit", 0xAE02, 10000);
+}
+
+TEST(LineManagerDifferential, FifoLogMatchesBruteForceOver10kSequences)
+{
+    differentialChurn("fifo-log", 0xAE03, 10000);
+}
+
+/** Ring buffer of the ops leading up to a fuzz failure. */
+struct OpLog
+{
+    std::deque<std::string> ops;
+    std::uint64_t dropped = 0;
+
+    void
+    push(std::string op)
+    {
+        if (ops.size() >= 48) {
+            ops.pop_front();
+            dropped += 1;
+        }
+        ops.push_back(std::move(op));
+    }
+
+    std::string
+    dump() const
+    {
+        std::ostringstream os;
+        os << "last " << ops.size() << " ops (" << dropped
+           << " earlier ops elided):\n";
+        for (const auto &op : ops)
+            os << "  " << op << "\n";
+        return os.str();
+    }
+};
+
+/**
+ * The fuzz's whole-drive invariant check:
+ *  - mapping bijectivity: L2P and P2L are exact inverses;
+ *  - valid-page accounting: the line manager, the mapping and the
+ *    global mapped count all agree;
+ *  - free-page accounting: the free lists match the block states;
+ *  - wear conservation: per-block erase counts are monotone and sum to
+ *    the drive-wide total.
+ */
+void
+checkFuzzInvariants(LineFixture &fx,
+                    std::vector<std::uint64_t> &last_erase_counts,
+                    const OpLog &log)
+{
+    const int chips = fx.cfg.totalChips();
+    const int planes = fx.cfg.geometry.planes;
+    const int blocks_per_chip = fx.cfg.blocksPerChip();
+    // Bijectivity, forward: every mapped LPN owns the PPA it points at.
+    std::uint64_t mapped = 0;
+    for (Lpn lpn = 0; lpn < fx.cfg.logicalPages(); ++lpn) {
+        const Ppn ppn = fx.mapping.lookup(lpn);
+        if (ppn == kInvalidPpn)
+            continue;
+        mapped += 1;
+        ASSERT_EQ(fx.mapping.reverseLookup(ppn), lpn)
+            << "L2P/P2L diverged at lpn " << lpn << "\n" << log.dump();
+    }
+    ASSERT_EQ(mapped, fx.mapping.mappedCount()) << log.dump();
+    std::uint64_t total_valid = 0;
+    std::uint64_t total_erases = 0;
+    for (int c = 0; c < chips; ++c) {
+        for (BlockId b = 0; b < static_cast<BlockId>(blocks_per_chip);
+             ++b) {
+            // Bijectivity, reverse: every owned PPA is pointed back at.
+            for (int pg = 0; pg < fx.pagesPerBlock(); ++pg) {
+                const Ppn ppn = fx.mapping.encode(c, b, pg);
+                const Lpn lpn = fx.mapping.reverseLookup(ppn);
+                if (lpn == kInvalidLpn)
+                    continue;
+                ASSERT_EQ(fx.mapping.lookup(lpn), ppn)
+                    << "P2L names an lpn mapped elsewhere\n" << log.dump();
+            }
+            const int valid = fx.mapping.validPages(c, b);
+            total_valid += static_cast<std::uint64_t>(valid);
+            ASSERT_EQ(fx.lines.trackedValid(c, b), valid)
+                << "line manager lost a valid-count delta on chip " << c
+                << " block " << b << "\n" << log.dump();
+            // A Free block must hold no valid data.
+            if (fx.blocks.state(c, b) == BlockState::Free) {
+                ASSERT_EQ(valid, 0) << log.dump();
+            }
+            const std::uint64_t ec = fx.blocks.eraseCount(c, b);
+            auto &last = last_erase_counts[static_cast<std::size_t>(c) *
+                                               blocks_per_chip +
+                                           b];
+            ASSERT_GE(ec, last)
+                << "erase count went backwards\n" << log.dump();
+            last = ec;
+            total_erases += ec;
+        }
+        // Free-list sizes match the per-block states.
+        for (int p = 0; p < planes; ++p) {
+            int free_state = 0;
+            for (int b = 0; b < fx.cfg.geometry.blocksPerPlane; ++b) {
+                const auto id = static_cast<BlockId>(
+                    p * fx.cfg.geometry.blocksPerPlane + b);
+                if (fx.blocks.state(c, id) == BlockState::Free)
+                    free_state += 1;
+            }
+            ASSERT_EQ(fx.blocks.freeBlocks(c, p), free_state)
+                << "free list disagrees with block states\n" << log.dump();
+        }
+    }
+    ASSERT_EQ(total_valid, fx.mapping.mappedCount()) << log.dump();
+    ASSERT_EQ(total_erases, fx.blocks.totalErases()) << log.dump();
+}
+
+/**
+ * 50k randomized ops of mixed host, GC and wear-leveling traffic. The
+ * wear policy is wired for real (dynamic allocation choice) and static-
+ * style cold migrations are injected; the invariants above are checked
+ * after every reclamation cycle.
+ */
+TEST(GcFuzz, MixedTrafficPreservesInvariantsOver50kOps)
+{
+    LineFixture fx("greedy");
+    const auto wear = makeWearLevelPolicy("dynamic");
+    fx.blocks.setWearPolicy(wear.get());
+    StaticWearLevelPolicy cold_picker;
+    std::mt19937_64 rng(0xA3205024);
+    OpLog log;
+    std::vector<std::uint64_t> last_erase_counts(
+        static_cast<std::size_t>(fx.cfg.totalChips()) *
+            fx.cfg.blocksPerChip(),
+        0);
+    const Lpn span = fx.cfg.logicalPages();
+    auto note = [&](const char *what, int chip, int plane,
+                    std::uint64_t detail) {
+        std::ostringstream os;
+        os << what << " chip=" << chip << " plane=" << plane << " "
+           << detail;
+        log.push(os.str());
+    };
+    for (std::uint64_t op = 0; op < 50000; ++op) {
+        const int chip = static_cast<int>(rng() % fx.cfg.totalChips());
+        const int plane = static_cast<int>(rng() % fx.cfg.geometry.planes);
+        if (fx.blocks.freeBlocks(chip, plane) <= fx.cfg.gcLowWatermark) {
+            const BlockId victim = fx.lines.pickVictim(chip, plane);
+            if (victim != kInvalidBlock) {
+                note("gc", chip, plane, victim);
+                fx.collect(chip, victim);
+                ASSERT_NO_FATAL_FAILURE(
+                    checkFuzzInvariants(fx, last_erase_counts, log));
+            }
+        }
+        const std::uint64_t dice = rng() % 100;
+        if (dice < 80) {
+            const Lpn lpn = rng() % span;
+            note("write", chip, plane, lpn);
+            ASSERT_TRUE(fx.writePage(lpn, chip, plane)) << log.dump();
+        } else if (dice < 90) {
+            const Lpn lpn = rng() % span;
+            note("trim", chip, plane, lpn);
+            fx.trim(lpn);
+        } else {
+            // Wear-leveling traffic: relocate the cold block the static
+            // policy would pick at an aggressive spread threshold.
+            const BlockId cold =
+                cold_picker.pickColdVictim(chip, plane, fx.blocks, 1);
+            if (cold != kInvalidBlock &&
+                fx.blocks.freeBlocks(chip, plane) >
+                    fx.cfg.gcLowWatermark) {
+                note("wear-level", chip, plane, cold);
+                fx.collect(chip, cold);
+                ASSERT_NO_FATAL_FAILURE(
+                    checkFuzzInvariants(fx, last_erase_counts, log));
+            }
+        }
+    }
+    ASSERT_NO_FATAL_FAILURE(
+        checkFuzzInvariants(fx, last_erase_counts, log));
+    // The run must have actually exercised reclamation.
+    EXPECT_GT(fx.blocks.totalErases(), 0u);
 }
 
 } // namespace

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Wear-leveling policy battery: registry round-trips and exact death
+ * diagnostics, the `none` policy's bit-exact LIFO reuse, `dynamic`'s
+ * least-erased free-block choice, `static`'s cold-victim threshold, and
+ * an end-to-end check that leveling actually narrows the erase-count
+ * spread on a churned drive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ssd/block_manager.hh"
+#include "ssd/ssd.hh"
+#include "ssd/wear_level.hh"
+#include "workload/synthetic.hh"
+
+namespace aero
+{
+namespace
+{
+
+TEST(WearLevelRegistry, RoundTripsEveryPolicy)
+{
+    EXPECT_EQ(makeWearLevelPolicy("none")->name(), std::string("none"));
+    EXPECT_EQ(makeWearLevelPolicy("static")->name(),
+              std::string("static"));
+    EXPECT_EQ(makeWearLevelPolicy("dynamic")->name(),
+              std::string("dynamic"));
+    EXPECT_STREQ(wearLevelPolicyNames(), "none, static, dynamic");
+}
+
+TEST(WearLevelRegistryDeathTest, UnknownNameDiesWithValidList)
+{
+    EXPECT_DEATH((void)makeWearLevelPolicy("hot-cold"),
+                 "unknown wear-level policy 'hot-cold' \\(valid: none, "
+                 "static, dynamic\\)");
+}
+
+// A tiny drive whose per-(chip, plane) pools the tests can steer.
+struct WearFixture
+{
+    SsdConfig cfg = SsdConfig::tiny();
+    BlockManager blocks{cfg};
+
+    // Fill every page of the open block of (chip, plane) so it goes
+    // Full, then erase it, leaving its erase count bumped.
+    BlockId
+    churnOneBlock(int chip, int plane)
+    {
+        BlockId block = kInvalidBlock;
+        int page = 0;
+        for (int i = 0; i < cfg.geometry.pagesPerBlock; ++i)
+            EXPECT_TRUE(blocks.allocate(chip, plane, block, page));
+        blocks.onBlockErased(chip, block);
+        return block;
+    }
+};
+
+TEST(WearLevelNone, ReusesTheLastFreedBlockFirst)
+{
+    WearFixture fx;
+    const NoneWearLevelPolicy none;
+    fx.blocks.setWearPolicy(&none);
+    // LIFO: the block just erased must be the next one opened.
+    const BlockId churned = fx.churnOneBlock(0, 0);
+    BlockId block = kInvalidBlock;
+    int page = 0;
+    ASSERT_TRUE(fx.blocks.allocate(0, 0, block, page));
+    EXPECT_EQ(block, churned);
+    EXPECT_EQ(fx.blocks.eraseCount(0, churned), 1u);
+}
+
+TEST(WearLevelDynamic, OpensTheLeastErasedFreeBlock)
+{
+    WearFixture fx;
+    const DynamicWearLevelPolicy dynamic;
+    fx.blocks.setWearPolicy(&dynamic);
+    // Churn one block so it carries the only nonzero erase count; the
+    // dynamic policy must *not* reuse it while colder blocks remain.
+    const BlockId churned = fx.churnOneBlock(0, 0);
+    BlockId block = kInvalidBlock;
+    int page = 0;
+    ASSERT_TRUE(fx.blocks.allocate(0, 0, block, page));
+    EXPECT_NE(block, churned);
+    EXPECT_EQ(fx.blocks.eraseCount(0, block), 0u);
+}
+
+TEST(WearLevelDynamic, BreaksEraseCountTiesByLowestBlockId)
+{
+    WearFixture fx;
+    const DynamicWearLevelPolicy dynamic;
+    // All-equal erase counts: the policy must pick deterministically.
+    std::vector<BlockId> free_list = {7, 3, 11};
+    const std::size_t slot =
+        dynamic.chooseFreeSlot(free_list, /*chip=*/0, fx.blocks);
+    EXPECT_EQ(free_list[slot], 3);
+}
+
+TEST(WearLevelStatic, ColdVictimRequiresTheFullSpread)
+{
+    WearFixture fx;
+    const StaticWearLevelPolicy static_wl;
+    // No Full block anywhere: nothing to migrate.
+    EXPECT_EQ(static_wl.pickColdVictim(0, 0, fx.blocks, 1), kInvalidBlock);
+
+    // Fill one block (leave it Full) and churn another plane-0 block
+    // until the spread reaches the threshold.
+    BlockId cold = kInvalidBlock;
+    int page = 0;
+    for (int i = 0; i < fx.cfg.geometry.pagesPerBlock; ++i)
+        ASSERT_TRUE(fx.blocks.allocate(0, 0, cold, page));
+    ASSERT_EQ(fx.blocks.state(0, cold), BlockState::Full);
+
+    // Spread 1 < delta 2: below threshold, no victim yet.
+    fx.churnOneBlock(0, 0);
+    EXPECT_EQ(static_wl.pickColdVictim(0, 0, fx.blocks, 2), kInvalidBlock);
+    // Second churn reuses the same LIFO block: spread reaches 2.
+    fx.churnOneBlock(0, 0);
+    EXPECT_EQ(static_wl.pickColdVictim(0, 0, fx.blocks, 2), cold);
+    // A stricter threshold still declines.
+    EXPECT_EQ(static_wl.pickColdVictim(0, 0, fx.blocks, 3), kInvalidBlock);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: on a churned drive, both leveling policies must keep the
+// per-plane erase spread no worse than no leveling at all — and dynamic
+// must strictly narrow it (LIFO reuse concentrates erases by design).
+// ---------------------------------------------------------------------------
+
+// Peak (max - min) erase count over every (chip, plane).
+std::uint64_t
+maxEraseSpread(const BlockManager &blocks)
+{
+    std::uint64_t spread = 0;
+    for (int c = 0; c < blocks.chips(); ++c)
+        for (int p = 0; p < blocks.planes(); ++p)
+            spread = std::max(spread, blocks.maxEraseCount(c, p) -
+                                          blocks.minEraseCount(c, p));
+    return spread;
+}
+
+std::uint64_t
+runSpread(const char *wear_level)
+{
+    SsdConfig cfg = SsdConfig::tiny();
+    cfg.wearLevel = wear_level;
+    cfg.wlEraseDelta = 2;
+    cfg.seed = 99;
+    Ssd ssd(cfg);
+
+    SyntheticConfig wc;
+    wc.spec = workloadByName("ali.A");  // write-heavy churn
+    wc.footprintPages = ssd.config().logicalPages();
+    wc.numRequests = 6000;
+    wc.seed = 31;
+    ssd.run(generateTrace(wc));
+    EXPECT_GT(ssd.metrics().erases, 0u);
+    return maxEraseSpread(ssd.ftl().blockManager());
+}
+
+TEST(WearLevelSystem, LevelingNarrowsTheEraseSpread)
+{
+    const std::uint64_t none = runSpread("none");
+    const std::uint64_t dynamic = runSpread("dynamic");
+    const std::uint64_t static_wl = runSpread("static");
+    EXPECT_GT(none, 0u);
+    EXPECT_LT(dynamic, none);
+    EXPECT_LE(static_wl, none);
+}
+
+} // namespace
+} // namespace aero
