@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -196,10 +198,52 @@ struct Artifacts
      * it.
      */
     bool small = false;
+    /**
+     * `--workers <n>`: fork n campaign worker processes sharing the
+     * `--checkpoint` path as an aero-campaign/2 journal *directory*
+     * (requires `--checkpoint`; see exp/campaign.hh). Zero means
+     * single-process.
+     */
+    int workers = 0;
+    /** This process's worker index after forkWorkers(); -1 = driver. */
+    int workerIndex = -1;
 
     bool wantJson() const { return !jsonPath.empty(); }
     bool wantCsv() const { return !csvPath.empty(); }
     bool wantCheckpoint() const { return !checkpointPath.empty(); }
+
+    /**
+     * Fork the `--workers` processes (no-op without the flag). Call
+     * before openJournal(): each child then opens its own worker file
+     * with claims armed, the parent waits for all children and opens
+     * the merged directory. A forked worker must exitWorker() as soon
+     * as its share of the campaign is journaled — artifact assembly
+     * belongs to the parent, which resumes with every record cached.
+     */
+    void
+    forkWorkers()
+    {
+        if (workers <= 1)
+            return;
+        if (!wantCheckpoint()) {
+            AERO_FATAL("--workers needs --checkpoint <dir>: the worker "
+                       "processes coordinate through the shared journal "
+                       "directory");
+        }
+        workerIndex = forkCampaignWorkers(workers);
+    }
+
+    /** Is this process a forked campaign worker (not the driver)? */
+    bool isWorker() const { return workerIndex >= 0; }
+
+    /** A worker's exit point once its tasks are journaled. */
+    [[noreturn]] void
+    exitWorker() const
+    {
+        // _Exit, not exit(): the child shares the parent's stdio
+        // buffers, and flushing them here would duplicate output.
+        std::_Exit(0);
+    }
 
     /**
      * Open this bench's campaign journal (null without `--checkpoint`).
@@ -207,15 +251,32 @@ struct Artifacts
      * bench's journal fails loudly) and @p config fingerprints the
      * campaign configuration — every knob that influences the numbers
      * must be in it, so a resumed run can never splice stale records.
+     *
+     * With `--workers` (or when the checkpoint path is already a
+     * journal directory from an earlier multi-worker run), the journal
+     * opens in directory mode: a forked worker appends to
+     * `journal.w<i>.jsonl` with file-locked claims armed; the driver
+     * merges every worker file under the id "merge" with claims off.
      */
     std::unique_ptr<CampaignJournal>
     openJournal(const std::string &bench, Json config) const
     {
         if (!wantCheckpoint())
             return nullptr;
+        JournalOptions options;
+        if (isWorker()) {
+            // Built by append (not operator+) to dodge GCC 12's
+            // -Wrestrict false positive on char* + std::string&&.
+            options.workerId = "w";
+            options.workerId += std::to_string(workerIndex);
+            options.claims = true;
+        } else if (workers > 1 ||
+                   std::filesystem::is_directory(checkpointPath)) {
+            options.workerId = "merge";
+        }
         auto journal = std::make_unique<CampaignJournal>(
-            checkpointPath, bench, std::move(config));
-        if (journal->cachedCount() > 0) {
+            checkpointPath, bench, std::move(config), options);
+        if (!isWorker() && journal->cachedCount() > 0) {
             std::printf("checkpoint: resuming %zu journaled task(s) "
                         "from %s\n",
                         journal->cachedCount(), checkpointPath.c_str());
@@ -255,19 +316,32 @@ struct Artifacts
 
 /**
  * Parse `--json <path>` / `--csv <path>` (plus `--small` when
- * @p allow_small and `--checkpoint <path>` when @p allow_checkpoint);
- * fatal on anything else, so a bench that has not wired a journal
- * rejects `--checkpoint` instead of silently ignoring it.
+ * @p allow_small, `--checkpoint <path>` when @p allow_checkpoint, and
+ * `--workers <n>` when @p allow_workers); fatal on anything else, so a
+ * bench that has not wired a journal rejects `--checkpoint` instead of
+ * silently ignoring it.
  */
 inline Artifacts
 parseArtifactArgs(int argc, char **argv, bool allow_small = false,
-                  bool allow_checkpoint = false)
+                  bool allow_checkpoint = false,
+                  bool allow_workers = false)
 {
     Artifacts out;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (allow_small && std::strcmp(arg, "--small") == 0) {
             out.small = true;
+            continue;
+        }
+        if (allow_workers && std::strcmp(arg, "--workers") == 0) {
+            if (i + 1 >= argc)
+                AERO_FATAL("--workers needs a count");
+            char *end = nullptr;
+            const long v = std::strtol(argv[++i], &end, 10);
+            if (end == nullptr || *end != '\0' || v < 1 || v > 256)
+                AERO_FATAL("--workers: '", argv[i],
+                           "' is not a worker count in [1, 256]");
+            out.workers = static_cast<int>(v);
             continue;
         }
         std::string *dest = nullptr;
@@ -283,6 +357,7 @@ parseArtifactArgs(int argc, char **argv, bool allow_small = false,
                        "' (usage: ", argv[0],
                        " [--json <path>] [--csv <path>]",
                        allow_checkpoint ? " [--checkpoint <path>]" : "",
+                       allow_workers ? " [--workers <n>]" : "",
                        allow_small ? " [--small]" : "", ")");
         if (i + 1 >= argc)
             AERO_FATAL(arg, " needs a file path");

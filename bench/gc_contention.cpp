@@ -133,8 +133,9 @@ runCell(const Cell &cell, std::uint64_t requests)
 int
 main(int argc, char **argv)
 {
-    const auto artifacts = bench::parseArtifactArgs(
-        argc, argv, /*allow_small=*/true, /*allow_checkpoint=*/true);
+    auto artifacts = bench::parseArtifactArgs(
+        argc, argv, /*allow_small=*/true, /*allow_checkpoint=*/true,
+        /*allow_workers=*/true);
 
     bench::header("GC contention: reclamation policies under queued "
                   "channel arbitration");
@@ -171,6 +172,11 @@ main(int argc, char **argv)
     journal_cfg["requests"] = requests;
     journal_cfg["arbitration"] = "queued";
     journal_cfg["small"] = artifacts.small;
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, runs its share of the map, and
+    // exits; the parent then reopens the merged directory with every
+    // cell cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal =
         artifacts.openJournal("gc_contention", std::move(journal_cfg));
     const CampaignScope scope{journal.get()};
@@ -185,6 +191,8 @@ main(int argc, char **argv)
         },
         [&](const Cell &c) { return runCell(c, requests); },
         [](const CellResult &r) { return toJson(r); }, cellFromJson);
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
 
     for (std::size_t si = 0; si < schemes.size(); ++si) {
         std::printf("\nscheme = %s\n", schemeKindName(schemes[si]));

@@ -170,9 +170,9 @@ main(int argc, char **argv)
         }
         rest.push_back(argv[i]);
     }
-    const auto artifacts = bench::parseArtifactArgs(
+    auto artifacts = bench::parseArtifactArgs(
         static_cast<int>(rest.size()), rest.data(), /*allow_small=*/true,
-        /*allow_checkpoint=*/true);
+        /*allow_checkpoint=*/true, /*allow_workers=*/true);
     if (artifacts.small && !tenant_spec.empty())
         AERO_FATAL("--small runs the fixed regression-gate mix and "
                    "rejects --tenants");
@@ -220,6 +220,10 @@ main(int argc, char **argv)
         journal_cfg["gc_policy"] = gc_policy;
     if (wear_level != "none")
         journal_cfg["wear_level"] = wear_level;
+    // Fork before opening the journal: worker children journal their
+    // share of the cells and exit; the parent reopens the merged
+    // directory with every cell cached and assembles the artifacts.
+    artifacts.forkWorkers();
     const auto journal =
         artifacts.openJournal("tenant_qos", std::move(journal_cfg));
     const CampaignScope scope{journal.get()};
@@ -233,6 +237,8 @@ main(int argc, char **argv)
         },
         [&](const Cell &c) { return runCell(c, sources, gc_policy, wear_level); },
         [](const CellResult &r) { return toJson(r); }, cellFromJson);
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
 
     for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
         std::printf("\nPEC = %.1fK   (per-tenant read latency, us)\n",

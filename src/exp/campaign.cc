@@ -1,10 +1,25 @@
 #include "exp/campaign.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#ifndef _WIN32
+#include <csignal>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+#endif
 
 #include "common/logging.hh"
 
@@ -15,6 +30,10 @@ namespace
 {
 
 constexpr const char *kSchema = "aero-campaign/1";
+constexpr const char *kSchemaDir = "aero-campaign/2";
+constexpr const char *kSchemaClaims = "aero-claims/1";
+constexpr const char *kClaimsFile = "claims.jsonl";
+constexpr const char *kCompactedFile = "journal.compacted.jsonl";
 
 /** FNV-1a 64-bit over @p text, rendered as 16 hex digits. */
 std::string
@@ -105,6 +124,54 @@ firstMismatch(const Json &stored, const Json &current,
                           renderValue(&current));
 }
 
+/** Read a whole file (empty string when it does not exist). */
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream content;
+    content << in.rdbuf();
+    if (in.bad())
+        AERO_FATAL("failed reading checkpoint '", path, "'");
+    return content.str();
+}
+
+/** Worker journal files inside @p dir, in sorted (merge) order. */
+std::vector<std::string>
+listJournalFiles(const std::string &dir)
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("journal.", 0) == 0 && name.size() > 14 &&
+            name.compare(name.size() - 6, 6, ".jsonl") == 0)
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/** Is @p pid a live process (or at least one we cannot signal)? */
+bool
+pidAlive(long long pid)
+{
+#ifndef _WIN32
+    if (pid <= 0)
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0)
+        return true;
+    return errno == EPERM;
+#else
+    (void)pid;
+    return false;
+#endif
+}
+
 } // namespace
 
 std::string
@@ -114,11 +181,42 @@ CampaignJournal::fingerprint(const std::string &campaign,
     return hashHex(campaign + '\n' + config.dump());
 }
 
-CampaignJournal::CampaignJournal(std::string path, std::string name,
-                                 Json config)
-    : journalPath(std::move(path)), campaign(std::move(name)),
-      fp(fingerprint(campaign, config)), configJson(std::move(config))
+const char *
+CampaignJournal::schema() const
 {
+    return directoryMode() ? kSchemaDir : kSchema;
+}
+
+CampaignJournal::CampaignJournal(std::string path, std::string name,
+                                 Json config, JournalOptions opts)
+    : journalPath(std::move(path)), campaign(std::move(name)),
+      fp(fingerprint(campaign, config)), configJson(std::move(config)),
+      options(std::move(opts))
+{
+    for (const char c : options.workerId) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '_' && c != '-') {
+            AERO_FATAL("journal worker id '", options.workerId,
+                       "' may only contain letters, digits, and '._-'");
+        }
+    }
+    if (options.claims && options.workerId.empty()) {
+        AERO_FATAL("journal claims need a directory-mode journal (set "
+                   "JournalOptions::workerId)");
+    }
+    if (const char *env = std::getenv("AERO_JOURNAL_FSYNC")) {
+        if (std::strcmp(env, "1") == 0)
+            options.fsyncRecords = true;
+        else if (std::strcmp(env, "0") == 0)
+            options.fsyncRecords = false;
+        else
+            AERO_FATAL("AERO_JOURNAL_FSYNC must be 0 or 1, got '", env,
+                       "'");
+    }
+    if (directoryMode()) {
+        loadDirectory();
+        return;
+    }
     // A bad journal path must fail naming the path, not surface later
     // as a raw stream failure once the first record is flushed.
     const auto parent =
@@ -129,6 +227,7 @@ CampaignJournal::CampaignJournal(std::string path, std::string name,
                    "': parent directory '", parent.string(),
                    "' does not exist");
     }
+    appendPath = journalPath;
     load();
 }
 
@@ -136,6 +235,10 @@ CampaignJournal::~CampaignJournal()
 {
     if (out)
         std::fclose(out);
+#ifndef _WIN32
+    if (claimsFd >= 0)
+        ::close(claimsFd);
+#endif
 }
 
 std::size_t
@@ -171,14 +274,29 @@ CampaignJournal::forEachCached(
         fn(key, payload);
 }
 
+std::size_t
+CampaignJournal::recordSyncCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return recordSyncs;
+}
+
+std::size_t
+CampaignJournal::claimSyncCount() const
+{
+    std::lock_guard<std::mutex> lock(claimsMutex);
+    return claimSyncs;
+}
+
 void
 CampaignJournal::insert(Json key, Json payload)
 {
     const std::string canonical = key.dump();
     const auto it = indexByKey.find(canonical);
     if (it != indexByKey.end()) {
-        // Duplicate keys can only come from journal surgery; last wins,
-        // matching what a replaying reader would observe.
+        // Duplicate keys come from journal surgery or from a reaped
+        // claim recomputed by another worker; last wins, matching what
+        // a replaying reader would observe.
         entries[it->second].second = std::move(payload);
         return;
     }
@@ -189,24 +307,73 @@ CampaignJournal::insert(Json key, Json payload)
 void
 CampaignJournal::load()
 {
-    std::string text;
-    {
-        std::ifstream in(journalPath, std::ios::binary);
-        if (!in) {
-            // No journal yet: start one.
-            openForAppend(0, /*writeHeader=*/true);
-            return;
-        }
-        std::ostringstream content;
-        content << in.rdbuf();
-        if (in.bad())
-            AERO_FATAL("failed reading checkpoint '", journalPath, "'");
-        text = content.str();
+    const std::string text = readFileOrEmpty(appendPath);
+    if (text.empty()) {
+        // No journal yet: start one.
+        openForAppend(0, /*writeHeader=*/true);
+        return;
     }
+    std::uint64_t goodBytes = 0;
+    bool sawHeader = false;
+    loadText(appendPath, text, /*own=*/true, &goodBytes, &sawHeader);
+    openForAppend(goodBytes, /*writeHeader=*/!sawHeader);
+}
 
+void
+CampaignJournal::loadDirectory()
+{
+    namespace fs = std::filesystem;
+    const fs::path dir(journalPath);
+    std::error_code ec;
+    if (!fs::exists(dir, ec)) {
+        const auto parent = dir.parent_path();
+        if (!parent.empty() && !fs::is_directory(parent, ec)) {
+            AERO_FATAL("cannot create journal directory '", journalPath,
+                       "': parent directory '", parent.string(),
+                       "' does not exist");
+        }
+        // Forked workers race to create the directory; losing the race
+        // to a sibling is success.
+        fs::create_directory(dir, ec);
+        if (!fs::is_directory(dir)) {
+            AERO_FATAL("cannot create journal directory '", journalPath,
+                       "': ", ec.message());
+        }
+    } else if (!fs::is_directory(dir, ec)) {
+        AERO_FATAL("journal path '", journalPath,
+                   "' exists and is not a directory (directory-mode "
+                   "journal requested for worker '", options.workerId,
+                   "')");
+    }
+    appendPath =
+        (dir / ("journal." + options.workerId + ".jsonl")).string();
+
+    std::uint64_t goodBytes = 0;
+    bool sawHeader = false;
+    for (const auto &file : listJournalFiles(journalPath)) {
+        const std::string text = readFileOrEmpty(file);
+        if (text.empty())
+            continue;  // a sibling worker racing to write its header
+        if (file == appendPath) {
+            loadText(file, text, /*own=*/true, &goodBytes, &sawHeader);
+        } else {
+            std::uint64_t ignoredBytes = 0;
+            bool ignoredHeader = false;
+            loadText(file, text, /*own=*/false, &ignoredBytes,
+                     &ignoredHeader);
+        }
+    }
+    openForAppend(goodBytes, /*writeHeader=*/!sawHeader);
+}
+
+void
+CampaignJournal::loadText(const std::string &filePath,
+                          const std::string &text, bool own,
+                          std::uint64_t *outGoodBytes, bool *outSawHeader)
+{
     // Walk the journal line by line. goodBytes tracks the end of the
-    // last intact record so a torn tail can be truncated away before
-    // new records are appended after it.
+    // last intact record so a torn tail can be truncated away (own
+    // file only) before new records are appended after it.
     std::uint64_t goodBytes = 0;
     std::size_t lineNo = 0;
     bool sawHeader = false;
@@ -227,13 +394,17 @@ CampaignJournal::load()
             // Torn-write tolerance covers the final *record* only. A
             // header that does not parse means this is not a journal
             // at all — truncating here would destroy whatever file the
-            // caller pointed us at by mistake.
-            if (isLast && sawHeader) {
-                AERO_WARN("checkpoint '", journalPath,
-                          "': dropping torn record on line ", lineNo);
+            // caller pointed us at by mistake. In a shared directory a
+            // sibling's file can legitimately end mid-write (it may
+            // still be appending), so a torn tail there is skipped
+            // without complaint about ownership.
+            if (isLast && (sawHeader || !own)) {
+                AERO_WARN("checkpoint '", filePath, "': ",
+                          own ? "dropping" : "ignoring",
+                          " torn record on line ", lineNo);
                 break;
             }
-            AERO_FATAL("checkpoint '", journalPath, "' is ",
+            AERO_FATAL("checkpoint '", filePath, "' is ",
                        sawHeader ? "corrupt" : "not a campaign journal",
                        ": line ", lineNo, ": ",
                        line.empty() ? "empty record" : err.toString());
@@ -246,48 +417,53 @@ CampaignJournal::load()
             // it away — for a torn *header*, only after validating it
             // really is this campaign's journal (the non-journal-file
             // protection above must still hold).
-            if (!sawHeader)
-                loadHeader(row, lineNo);
-            AERO_WARN("checkpoint '", journalPath,
-                      "': dropping unterminated ",
-                      sawHeader ? "record" : "header", " on line ",
-                      lineNo);
+            if (!sawHeader && own)
+                loadHeader(filePath, row, lineNo);
+            AERO_WARN("checkpoint '", filePath, "': ",
+                      own ? "dropping" : "ignoring",
+                      " unterminated ",
+                      sawHeader || !own ? "record" : "header",
+                      " on line ", lineNo);
             break;
         }
 
         if (!sawHeader) {
-            loadHeader(row, lineNo);
+            loadHeader(filePath, row, lineNo);
             sawHeader = true;
         } else {
-            loadRecord(row, lineNo);
+            loadRecord(filePath, row, lineNo);
         }
         goodBytes = next;
         start = next;
     }
-
-    openForAppend(goodBytes, /*writeHeader=*/!sawHeader);
+    *outGoodBytes = goodBytes;
+    *outSawHeader = sawHeader;
 }
 
 void
-CampaignJournal::loadHeader(const Json &row, std::size_t lineNo)
+CampaignJournal::loadHeader(const std::string &filePath, const Json &row,
+                            std::size_t lineNo)
 {
-    const Json *schema = row.find("schema");
-    if (!schema || !schema->isString() ||
-        schema->asString() != kSchema) {
-        AERO_FATAL("'", journalPath, "' is not an ", kSchema,
+    const Json *storedSchema = row.find("schema");
+    if (!storedSchema || !storedSchema->isString() ||
+        storedSchema->asString() != schema()) {
+        AERO_FATAL("'", filePath, "' is not an ", schema(),
                    " journal (line ", lineNo, ")");
     }
     const Json *storedName = row.find("campaign");
     const Json *storedFp = row.find("fingerprint");
     const Json *storedConfig = row.find("config");
+    const Json *storedWorker = row.find("worker");
     if (!storedName || !storedName->isString() || !storedFp ||
         !storedFp->isString() || !storedConfig ||
-        !storedConfig->isObject()) {
-        AERO_FATAL("checkpoint '", journalPath,
+        !storedConfig->isObject() ||
+        (directoryMode() &&
+         (!storedWorker || !storedWorker->isString()))) {
+        AERO_FATAL("checkpoint '", filePath,
                    "' has a malformed header (line ", lineNo, ")");
     }
     if (storedName->asString() != campaign) {
-        AERO_FATAL("checkpoint '", journalPath,
+        AERO_FATAL("checkpoint '", filePath,
                    "' belongs to campaign '", storedName->asString(),
                    "', expected '", campaign,
                    "' — refusing to resume another campaign's journal");
@@ -295,7 +471,7 @@ CampaignJournal::loadHeader(const Json &row, std::size_t lineNo)
     if (storedFp->asString() != fp) {
         const std::string field =
             firstMismatch(*storedConfig, configJson, "");
-        AERO_FATAL("checkpoint '", journalPath, "' was written for a "
+        AERO_FATAL("checkpoint '", filePath, "' was written for a "
                    "different '", campaign,
                    "' campaign configuration (fingerprint ",
                    storedFp->asString(), ", expected ", fp, "): ",
@@ -307,17 +483,18 @@ CampaignJournal::loadHeader(const Json &row, std::size_t lineNo)
 }
 
 void
-CampaignJournal::loadRecord(const Json &row, std::size_t lineNo)
+CampaignJournal::loadRecord(const std::string &filePath, const Json &row,
+                            std::size_t lineNo)
 {
     const Json *recordFp = row.find("fingerprint");
     const Json *key = row.find("key");
     const Json *payload = row.find("payload");
     if (!recordFp || !recordFp->isString() || !key || !payload) {
-        AERO_FATAL("checkpoint '", journalPath,
+        AERO_FATAL("checkpoint '", filePath,
                    "' has a malformed record on line ", lineNo);
     }
     if (recordFp->asString() != fp) {
-        AERO_FATAL("checkpoint '", journalPath, "': record on line ",
+        AERO_FATAL("checkpoint '", filePath, "': record on line ",
                    lineNo, " carries fingerprint ", recordFp->asString(),
                    ", expected ", fp,
                    " — refusing to splice records from a different "
@@ -330,23 +507,49 @@ void
 CampaignJournal::openForAppend(std::uint64_t keepBytes, bool writeHeader)
 {
     std::error_code ec;
-    const auto size = std::filesystem::file_size(journalPath, ec);
+    const auto size = std::filesystem::file_size(appendPath, ec);
     if (!ec && size > keepBytes) {
-        std::filesystem::resize_file(journalPath, keepBytes, ec);
+        std::filesystem::resize_file(appendPath, keepBytes, ec);
         if (ec) {
-            AERO_FATAL("cannot truncate torn tail of '", journalPath,
+            AERO_FATAL("cannot truncate torn tail of '", appendPath,
                        "': ", ec.message());
         }
     }
-    out = std::fopen(journalPath.c_str(), "ab");
+    out = std::fopen(appendPath.c_str(), "ab");
     if (!out)
-        AERO_FATAL("cannot open checkpoint '", journalPath,
+        AERO_FATAL("cannot open checkpoint '", appendPath,
                    "' for appending");
+#ifndef _WIN32
+    if (directoryMode()) {
+        // The worker file is this process's exclusive append target: a
+        // second live process under the same worker id would interleave
+        // torn lines. The advisory lock dies with the process, so a
+        // SIGKILLed worker never wedges the next resume; a briefly
+        // lingering orphan (its parent just died) gets a grace period.
+        bool locked = false;
+        for (int attempt = 0; attempt < 20; ++attempt) {
+            if (::flock(::fileno(out), LOCK_EX | LOCK_NB) == 0) {
+                locked = true;
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+        if (!locked) {
+            AERO_FATAL("worker '", options.workerId,
+                       "' is already active on journal '", journalPath,
+                       "' (another live process holds the lock on '",
+                       appendPath, "')");
+        }
+    }
+#endif
     if (writeHeader) {
         Json header = Json::object();
-        header["schema"] = kSchema;
+        header["schema"] = schema();
         header["campaign"] = campaign;
         header["fingerprint"] = fp;
+        if (directoryMode())
+            header["worker"] = options.workerId;
         header["config"] = configJson;
         append(header);
     }
@@ -358,7 +561,16 @@ CampaignJournal::append(const Json &row)
     const std::string line = row.dump() + '\n';
     if (std::fwrite(line.data(), 1, line.size(), out) != line.size() ||
         std::fflush(out) != 0) {
-        AERO_FATAL("failed writing checkpoint '", journalPath, "'");
+        AERO_FATAL("failed writing checkpoint '", appendPath, "'");
+    }
+    if (options.fsyncRecords) {
+#ifndef _WIN32
+        if (::fsync(::fileno(out)) != 0) {
+            AERO_FATAL("fsync failed on checkpoint '", appendPath,
+                       "': ", std::strerror(errno));
+        }
+#endif
+        recordSyncs += 1;
     }
 }
 
@@ -372,6 +584,393 @@ CampaignJournal::record(const Json &key, Json payload)
     std::lock_guard<std::mutex> lock(mutex);
     append(row);
     insert(key, std::move(payload));
+}
+
+void
+CampaignJournal::ensureClaimsFile()
+{
+#ifndef _WIN32
+    if (claimsFd >= 0)
+        return;
+    const std::string path =
+        (std::filesystem::path(journalPath) / kClaimsFile).string();
+    claimsFd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (claimsFd < 0) {
+        AERO_FATAL("cannot open claims file '", path, "': ",
+                   std::strerror(errno));
+    }
+#endif
+}
+
+bool
+CampaignJournal::tryClaim(const Json &key)
+{
+    if (!options.claims)
+        return true;
+#ifdef _WIN32
+    return true;
+#else
+    std::lock_guard<std::mutex> lock(claimsMutex);
+    ensureClaimsFile();
+    const std::string path =
+        (std::filesystem::path(journalPath) / kClaimsFile).string();
+    if (::flock(claimsFd, LOCK_EX) != 0) {
+        AERO_FATAL("cannot lock claims file '", path, "': ",
+                   std::strerror(errno));
+    }
+    // flock() is advisory and per-open-file-description: the
+    // process-level lock above serializes our own threads, the flock
+    // serializes sibling worker processes.
+    struct Unlock
+    {
+        int fd;
+        ~Unlock() { ::flock(fd, LOCK_UN); }
+    } unlock{claimsFd};
+
+    // Re-read the whole claims file under the lock: claims appended by
+    // siblings since our last look must be visible before we decide.
+    std::string text;
+    {
+        char buf[65536];
+        off_t offset = 0;
+        for (;;) {
+            const ssize_t n =
+                ::pread(claimsFd, buf, sizeof(buf), offset);
+            if (n < 0) {
+                AERO_FATAL("cannot read claims file '", path, "': ",
+                           std::strerror(errno));
+            }
+            if (n == 0)
+                break;
+            text.append(buf, static_cast<std::size_t>(n));
+            offset += n;
+        }
+    }
+
+    struct Claim
+    {
+        std::string worker;
+        long long pid = 0;
+    };
+    std::unordered_map<std::string, Claim> claims;
+    bool sawHeader = false;
+    std::size_t lineNo = 0;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        const bool terminated = end != std::string::npos;
+        if (!terminated)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        const std::size_t next = terminated ? end + 1 : end;
+        const bool isLast = next >= text.size();
+        lineNo += 1;
+
+        Json row;
+        Json::ParseError err;
+        if (line.empty() || !Json::parse(line, &row, &err) ||
+            !terminated) {
+            // A torn final line is a crash mid-claim: that claim never
+            // took effect (its fsync did not complete), ignore it.
+            if (isLast)
+                break;
+            AERO_FATAL("claims file '", path, "' is corrupt: line ",
+                       lineNo, ": ",
+                       line.empty() ? "empty record" : err.toString());
+        }
+        if (!sawHeader) {
+            const Json *storedSchema = row.find("schema");
+            const Json *storedFp = row.find("fingerprint");
+            if (!storedSchema || !storedSchema->isString() ||
+                storedSchema->asString() != kSchemaClaims ||
+                !storedFp || !storedFp->isString()) {
+                AERO_FATAL("'", path, "' is not an ", kSchemaClaims,
+                           " claims file (line ", lineNo, ")");
+            }
+            if (storedFp->asString() != fp) {
+                AERO_FATAL("claims file '", path,
+                           "' belongs to a different campaign "
+                           "configuration (fingerprint ",
+                           storedFp->asString(), ", expected ", fp,
+                           ")");
+            }
+            sawHeader = true;
+        } else {
+            const Json *recordFp = row.find("fingerprint");
+            const Json *claimKey = row.find("key");
+            const Json *worker = row.find("worker");
+            const Json *pid = row.find("pid");
+            if (!recordFp || !recordFp->isString() || !claimKey ||
+                !worker || !worker->isString() || !pid ||
+                !pid->isNumeric()) {
+                AERO_FATAL("claims file '", path,
+                           "' has a malformed claim on line ", lineNo);
+            }
+            if (recordFp->asString() != fp) {
+                AERO_FATAL("claims file '", path, "': claim on line ",
+                           lineNo, " carries fingerprint ",
+                           recordFp->asString(), ", expected ", fp);
+            }
+            claims[claimKey->dump()] = Claim{
+                worker->asString(),
+                static_cast<long long>(pid->asInt64())};
+        }
+        start = next;
+    }
+
+    const auto it = claims.find(key.dump());
+    if (it != claims.end() && it->second.worker != options.workerId &&
+        pidAlive(it->second.pid)) {
+        return false;  // a live sibling owns this task
+    }
+    // Ours: either unclaimed, already ours (a resumed worker re-claims
+    // under its current pid), or stale — the claiming pid is dead and
+    // the task was never journaled, so reap it and take over.
+    std::string lines;
+    if (!sawHeader) {
+        Json header = Json::object();
+        header["schema"] = kSchemaClaims;
+        header["campaign"] = campaign;
+        header["fingerprint"] = fp;
+        lines += header.dump() + '\n';
+    }
+    Json row = Json::object();
+    row["fingerprint"] = fp;
+    row["key"] = key;
+    row["worker"] = options.workerId;
+    row["pid"] = static_cast<std::int64_t>(::getpid());
+    lines += row.dump() + '\n';
+    const off_t fileEnd = ::lseek(claimsFd, 0, SEEK_END);
+    if (fileEnd < 0 ||
+        ::write(claimsFd, lines.data(), lines.size()) !=
+            static_cast<ssize_t>(lines.size()) ||
+        ::fsync(claimsFd) != 0) {
+        AERO_FATAL("failed writing claims file '", path, "': ",
+                   std::strerror(errno));
+    }
+    claimSyncs += 1;
+    return true;
+#endif
+}
+
+CompactStats
+compactCampaignJournal(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    CompactStats stats;
+    std::error_code ec;
+    const bool dirMode = fs::is_directory(path, ec);
+    std::vector<std::string> files;
+    if (dirMode) {
+        files = listJournalFiles(path);
+        if (files.empty()) {
+            AERO_FATAL("journal directory '", path,
+                       "' contains no journal.*.jsonl files to compact");
+        }
+    } else {
+        if (!fs::exists(path, ec))
+            AERO_FATAL("no campaign journal at '", path, "'");
+        files.push_back(path);
+    }
+    const char *schema = dirMode ? kSchemaDir : kSchema;
+
+    std::string campaign, fp;
+    Json config;
+    std::deque<std::pair<Json, Json>> merged;
+    std::unordered_map<std::string, std::size_t> indexByKey;
+    for (const auto &file : files) {
+        const std::string text = readFileOrEmpty(file);
+        if (text.empty())
+            continue;
+        bool sawHeader = false;
+        std::size_t lineNo = 0;
+        std::size_t start = 0;
+        while (start < text.size()) {
+            std::size_t end = text.find('\n', start);
+            const bool terminated = end != std::string::npos;
+            if (!terminated)
+                end = text.size();
+            const std::string line = text.substr(start, end - start);
+            const std::size_t next = terminated ? end + 1 : end;
+            const bool isLast = next >= text.size();
+            lineNo += 1;
+
+            Json row;
+            Json::ParseError err;
+            if (line.empty() || !Json::parse(line, &row, &err) ||
+                !terminated) {
+                if (isLast && sawHeader) {
+                    AERO_WARN("compact: dropping torn record on line ",
+                              lineNo, " of '", file, "'");
+                    break;
+                }
+                AERO_FATAL("cannot compact '", path, "': '", file,
+                           "' is ",
+                           sawHeader ? "corrupt"
+                                     : "not a campaign journal",
+                           ": line ", lineNo, ": ",
+                           line.empty() ? "empty record"
+                                        : err.toString());
+            }
+            if (!sawHeader) {
+                const Json *storedSchema = row.find("schema");
+                const Json *storedName = row.find("campaign");
+                const Json *storedFp = row.find("fingerprint");
+                const Json *storedConfig = row.find("config");
+                if (!storedSchema || !storedSchema->isString() ||
+                    storedSchema->asString() != schema || !storedName ||
+                    !storedName->isString() || !storedFp ||
+                    !storedFp->isString() || !storedConfig ||
+                    !storedConfig->isObject()) {
+                    AERO_FATAL("cannot compact '", path, "': '", file,
+                               "' is not an ", schema,
+                               " journal (line ", lineNo, ")");
+                }
+                if (fp.empty()) {
+                    campaign = storedName->asString();
+                    fp = storedFp->asString();
+                    config = *storedConfig;
+                } else if (storedFp->asString() != fp) {
+                    AERO_FATAL("cannot compact '", path, "': '", file,
+                               "' belongs to a different campaign "
+                               "configuration (fingerprint ",
+                               storedFp->asString(), ", expected ", fp,
+                               ")");
+                }
+                sawHeader = true;
+            } else {
+                const Json *recordFp = row.find("fingerprint");
+                const Json *key = row.find("key");
+                const Json *payload = row.find("payload");
+                if (!recordFp || !recordFp->isString() || !key ||
+                    !payload) {
+                    AERO_FATAL("cannot compact '", path, "': '", file,
+                               "' has a malformed record on line ",
+                               lineNo);
+                }
+                if (recordFp->asString() != fp) {
+                    AERO_FATAL("cannot compact '", path, "': record on "
+                               "line ", lineNo, " of '", file,
+                               "' carries fingerprint ",
+                               recordFp->asString(), ", expected ", fp);
+                }
+                stats.recordsIn += 1;
+                const std::string canonical = key->dump();
+                const auto it = indexByKey.find(canonical);
+                if (it != indexByKey.end()) {
+                    merged[it->second].second = *payload;
+                } else {
+                    indexByKey.emplace(canonical, merged.size());
+                    merged.emplace_back(*key, *payload);
+                }
+            }
+            start = next;
+        }
+        if (sawHeader)
+            stats.files += 1;
+    }
+    if (fp.empty())
+        AERO_FATAL("journal '", path, "' has no header to compact");
+    stats.recordsOut = merged.size();
+
+    const std::string outPath =
+        dirMode ? (fs::path(path) / kCompactedFile).string() : path;
+    const std::string tmpPath =
+        dirMode ? (fs::path(path) / ".compact.tmp").string()
+                : path + ".compact.tmp";
+    std::FILE *outFile = std::fopen(tmpPath.c_str(), "wb");
+    if (!outFile)
+        AERO_FATAL("cannot write compacted journal '", tmpPath, "'");
+    Json header = Json::object();
+    header["schema"] = schema;
+    header["campaign"] = campaign;
+    header["fingerprint"] = fp;
+    if (dirMode)
+        header["worker"] = "compacted";
+    header["config"] = config;
+    std::string body = header.dump() + '\n';
+    for (const auto &[key, payload] : merged) {
+        Json row = Json::object();
+        row["fingerprint"] = fp;
+        row["key"] = key;
+        row["payload"] = payload;
+        body += row.dump() + '\n';
+    }
+    const bool wrote =
+        std::fwrite(body.data(), 1, body.size(), outFile) ==
+            body.size() &&
+        std::fflush(outFile) == 0;
+#ifndef _WIN32
+    const bool synced = wrote && ::fsync(::fileno(outFile)) == 0;
+#else
+    const bool synced = wrote;
+#endif
+    std::fclose(outFile);
+    if (!synced)
+        AERO_FATAL("failed writing compacted journal '", tmpPath, "'");
+    fs::rename(tmpPath, outPath, ec);
+    if (ec) {
+        AERO_FATAL("cannot rename compacted journal into place ('",
+                   tmpPath, "' -> '", outPath, "'): ", ec.message());
+    }
+    if (dirMode) {
+        // The compacted file now supersedes every input; removal is
+        // safe at any point (a crash here only leaves files whose
+        // records the merge reproduces by dedup on the next open).
+        for (const auto &file : files) {
+            if (file != outPath)
+                fs::remove(file, ec);
+        }
+        fs::remove(fs::path(path) / kClaimsFile, ec);
+    }
+    return stats;
+}
+
+int
+forkCampaignWorkers(int n)
+{
+    if (n <= 1)
+        return -1;
+#ifdef _WIN32
+    AERO_FATAL("multi-process campaigns need POSIX fork(); run "
+               "single-process or shard across machines instead");
+#else
+    std::vector<pid_t> children;
+    children.reserve(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            AERO_FATAL("fork() failed for campaign worker ", k, ": ",
+                       std::strerror(errno));
+        }
+        if (pid == 0) {
+#ifdef __linux__
+            // Die with the driver: a SIGKILLed campaign must not leak
+            // orphan workers that fight the next resume for journal
+            // file locks.
+            ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+            if (::getppid() == 1)
+                std::_Exit(127);  // driver died before prctl took hold
+#endif
+            return k;
+        }
+        children.push_back(pid);
+    }
+    int failures = 0;
+    for (const pid_t pid : children) {
+        int status = 0;
+        if (::waitpid(pid, &status, 0) < 0 ||
+            !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            failures += 1;
+        }
+    }
+    if (failures > 0) {
+        AERO_WARN(failures, " of ", n, " campaign worker(s) did not "
+                  "exit cleanly; completing their remaining tasks "
+                  "in-process from the journal");
+    }
+    return -1;
+#endif
 }
 
 } // namespace aero

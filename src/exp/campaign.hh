@@ -6,28 +6,64 @@
  * or anything else shaped as "many independent tasks, each producing one
  * record".
  *
- * Journal format (`aero-campaign/1`), one JSON document per line:
+ * Single-file journal format (`aero-campaign/1`), one JSON document per
+ * line:
  *
  *   {"schema":"aero-campaign/1","campaign":"<name>",
  *    "fingerprint":"<hex>","config":{..}}
  *   {"fingerprint":"<hex>","key":{..axes..},"payload":<any JSON>}
  *   ...
  *
+ * Directory journal format (`aero-campaign/2`): the journal path is a
+ * *directory* shared by N worker processes. Each worker appends to its
+ * own file `journal.<worker_id>.jsonl` (same line format, header schema
+ * `aero-campaign/2` plus a `"worker"` field), and every reader merges
+ * all `journal.*.jsonl` files in sorted filename order with
+ * duplicate-key *last-wins* semantics. Workers coordinate in-flight
+ * tasks through `claims.jsonl`: before running a task, a worker takes
+ * an advisory `flock()` on the claims file, re-reads it, and appends a
+ * fsync'ed claim record `{"key":..,"worker":..,"pid":..}` — a task
+ * claimed by another *live* pid is skipped, a claim left by a dead pid
+ * is stale and silently reaped. Because task payloads are deterministic
+ * functions of their keys, a reaped-and-recomputed task produces an
+ * identical record and last-wins merging keeps every reader
+ * byte-consistent. `compactCampaignJournal()` rewrites a journal
+ * directory down to one deduplicated `journal.compacted.jsonl` with a
+ * fresh header (and a single file down to its deduplicated self), so
+ * journals do not grow without bound across resume cycles.
+ *
  * The header pins the journal to one (campaign, configuration) pair via
  * a fingerprint over the campaign name and the canonical config JSON;
  * every record repeats the fingerprint so a record can never be spliced
  * into the wrong campaign. Records are keyed by an *axis object* (chip
  * index, scheme name, grid point, ...), not by position, so a journal
- * written under any thread count resumes correctly under any other.
+ * written under any thread count — or any worker count — resumes
+ * correctly under any other.
  *
- * Crash tolerance: each record is one write() followed by a flush, so a
- * torn write leaves at most one partial final line. On open, the loader
- * parses each line with Json::parse, drops a malformed *tail record*
- * (warning, then truncates the file back to the last good record before
- * appending), and fails loudly on corruption anywhere else — including a
- * file whose first line is not a journal header (never truncate a file
- * the caller pointed us at by mistake) — and on any campaign or
- * fingerprint mismatch, naming the config field that differs.
+ * Crash tolerance and the durability contract:
+ *
+ *   - Each record is one write() followed by std::fflush(), so a torn
+ *     write leaves at most one partial final line. On open, the loader
+ *     parses each line with Json::parse, drops a malformed *tail
+ *     record* (warning; the file this process appends to is truncated
+ *     back to its last good record, other workers' files are merged
+ *     read-only and never touched), and fails loudly on corruption
+ *     anywhere else — including a file whose first line is not a
+ *     journal header (never truncate a file the caller pointed us at
+ *     by mistake) — and on any campaign or fingerprint mismatch,
+ *     naming the config field that differs.
+ *   - fflush() hands the record to the kernel page cache: a flushed
+ *     record survives process death of any kind (SIGKILL included)
+ *     because the kernel owns the dirty page. It does NOT survive
+ *     power loss or a host crash before the kernel writes the page
+ *     back. JournalOptions::fsyncRecords (or AERO_JOURNAL_FSYNC=1)
+ *     additionally fsync()s every record, extending "resumes from its
+ *     last flushed task" to power loss at the cost of one device sync
+ *     per task.
+ *   - Claim records are *always* fsync'ed regardless of fsyncRecords:
+ *     a lost claim means two workers duplicating an expensive task,
+ *     so claims buy durability unconditionally (they are tiny and
+ *     written once per task).
  */
 
 #ifndef AERO_EXP_CAMPAIGN_HH
@@ -48,6 +84,33 @@
 namespace aero
 {
 
+/** How a CampaignJournal is opened (see the file comment). */
+struct JournalOptions
+{
+    /**
+     * Non-empty selects directory mode (`aero-campaign/2`): the journal
+     * path names a shared directory and this process appends to
+     * `journal.<workerId>.jsonl` inside it. Letters, digits, and
+     * `._-` only. Empty (the default) is the classic single-file
+     * `aero-campaign/1` journal, bit-identical to prior releases.
+     */
+    std::string workerId;
+
+    /**
+     * Enable advisory file-locked claim records (directory mode only):
+     * tryClaim() must grant a key before the task runs, so concurrent
+     * workers never duplicate in-flight work.
+     */
+    bool claims = false;
+
+    /**
+     * fsync() every journal record after flushing it (see the
+     * durability contract in the file comment). Overridable either way
+     * by the AERO_JOURNAL_FSYNC environment variable ("1" or "0").
+     */
+    bool fsyncRecords = false;
+};
+
 class CampaignJournal
 {
   public:
@@ -56,9 +119,14 @@ class CampaignJournal
      * @p campaign with configuration @p config. An existing journal is
      * validated (schema, campaign name, fingerprint) and its records
      * are loaded; a journal written for a different campaign or
-     * configuration is fatal with a message naming the mismatch.
+     * configuration is fatal with a message naming the mismatch. With
+     * options.workerId set, @p path is a journal *directory* (created
+     * if absent): all worker files are merged and this process appends
+     * to its own (refusing to start when another live process already
+     * holds the worker id's file lock).
      */
-    CampaignJournal(std::string path, std::string campaign, Json config);
+    CampaignJournal(std::string path, std::string campaign, Json config,
+                    JournalOptions options = {});
     ~CampaignJournal();
 
     CampaignJournal(const CampaignJournal &) = delete;
@@ -66,6 +134,12 @@ class CampaignJournal
 
     const std::string &path() const { return journalPath; }
     const std::string &campaignName() const { return campaign; }
+
+    /** Directory mode (`aero-campaign/2`)? */
+    bool directoryMode() const { return !options.workerId.empty(); }
+
+    /** Are file-locked claim records in force? */
+    bool claimsEnabled() const { return options.claims; }
 
     /** Number of distinct keys already journaled. */
     std::size_t cachedCount() const;
@@ -87,10 +161,26 @@ class CampaignJournal
      */
     void record(const Json &key, Json payload);
 
+    /**
+     * Claim @p key for this worker before running its task. Returns
+     * true when this worker now owns the claim (including reclaiming
+     * its own or a dead worker's stale claim) and false when another
+     * live worker holds it — skip the task, that worker will journal
+     * it. Always true when claims are disabled. Thread-safe and
+     * cross-process safe (exclusive flock on the claims file).
+     */
+    bool tryClaim(const Json &key);
+
     /** Visit every cached (key, payload) pair, in journal order. */
     void forEachCached(
         const std::function<void(const Json &key, const Json &payload)>
             &fn) const;
+
+    /** Records fsync'ed so far (durability-contract observability). */
+    std::size_t recordSyncCount() const;
+
+    /** Claim records fsync'ed so far (claims are always synced). */
+    std::size_t claimSyncCount() const;
 
     /**
      * Fingerprint of a campaign: a hash over its name and its canonical
@@ -101,22 +191,69 @@ class CampaignJournal
 
   private:
     void load();
-    void loadHeader(const Json &row, std::size_t lineNo);
-    void loadRecord(const Json &row, std::size_t lineNo);
+    void loadDirectory();
+    void loadText(const std::string &filePath, const std::string &text,
+                  bool own, std::uint64_t *goodBytes, bool *sawHeader);
+    void loadHeader(const std::string &filePath, const Json &row,
+                    std::size_t lineNo);
+    void loadRecord(const std::string &filePath, const Json &row,
+                    std::size_t lineNo);
     void openForAppend(std::uint64_t keepBytes, bool writeHeader);
     void append(const Json &row);
     void insert(Json key, Json payload);
+    const char *schema() const;
+    void ensureClaimsFile();
 
     std::string journalPath;
     std::string campaign;
     std::string fp;        //!< fingerprint of (campaign, config)
     Json configJson;       //!< canonical config (header payload)
+    JournalOptions options;
+    std::string appendPath;  //!< file this process appends to
     /** (key, payload) in journal order; deque keeps entries stable. */
     std::deque<std::pair<Json, Json>> entries;
     std::unordered_map<std::string, std::size_t> indexByKey;
     std::FILE *out = nullptr;
+    int claimsFd = -1;
+    std::size_t recordSyncs = 0;  //!< guarded by mutex
+    std::size_t claimSyncs = 0;   //!< guarded by claimsMutex
     mutable std::mutex mutex;
+    mutable std::mutex claimsMutex;
 };
+
+/** What compactCampaignJournal() rewrote. */
+struct CompactStats
+{
+    std::size_t files = 0;       //!< journal files merged
+    std::size_t recordsIn = 0;   //!< records read (duplicates included)
+    std::size_t recordsOut = 0;  //!< deduplicated records written
+};
+
+/**
+ * Rewrite the journal at @p path down to one deduplicated file with a
+ * fresh header, adopting the campaign/config the journal's own header
+ * pins (no external knowledge needed). A directory journal becomes a
+ * single `journal.compacted.jsonl` (worker id "compacted"; all other
+ * worker files and the claims file are removed); a single-file journal
+ * is rewritten in place, dropping superseded duplicate-key records and
+ * any torn tail. Only compact a quiescent journal — no live workers.
+ * Fatal on corruption or on files from mismatched campaigns.
+ */
+CompactStats compactCampaignJournal(const std::string &path);
+
+/**
+ * Fork @p n campaign worker processes. Returns the worker index
+ * (0..n-1) in each child and -1 in the parent after every child has
+ * exited; with n <= 1 no processes are forked and the caller proceeds
+ * single-process. Children are torn down with the parent (PDEATHSIG on
+ * Linux), so a SIGKILLed driver never leaks workers that would fight
+ * the next resume for journal file locks. A child that dies or exits
+ * nonzero is only a warning: the parent resumes the campaign from the
+ * journal and completes the remaining tasks itself. Children must
+ * `std::_Exit(0)` once their share of the campaign is journaled —
+ * returning from main() would duplicate the driver's artifact writing.
+ */
+int forkCampaignWorkers(int n);
 
 /**
  * A journal handle plus a key prefix, cheap to pass down through the
@@ -165,8 +302,13 @@ struct CampaignScope
  * journaled under `keyOf(index, item)` as `encode(result)`, and items
  * already journaled are decoded from the journal instead of recomputed
  * — so a killed campaign resumes from its last flushed task. With a
- * null journal this is exactly parallelMap(). Results are byte-stable
- * across kill/resume cycles and thread counts provided
+ * null journal this is exactly parallelMap(). When the journal has
+ * claims enabled (multi-worker directory mode), each pending item is
+ * claimed first; an item another live worker owns is *skipped* and its
+ * slot left default-constructed — a forked worker must therefore exit
+ * after the map and leave artifact assembly to the parent, which
+ * reruns the map with every record cached. Results are byte-stable
+ * across kill/resume cycles, thread counts, and worker counts provided
  * `decode(encode(x))` reproduces `x` exactly (every codec in this repo
  * round-trips doubles bit-for-bit through the JSON serializer).
  */
@@ -189,6 +331,8 @@ parallelMapJournaled(CampaignJournal *journal,
             const Json key = keyOf(i, items[i]);
             if (journal->has(key))
                 return decode(journal->cached(key));
+            if (!journal->tryClaim(key))
+                return Result{};
             Result r = fn(items[i]);
             journal->record(key, encode(r));
             return r;

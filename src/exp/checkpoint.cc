@@ -65,6 +65,18 @@ SweepCheckpoint::SweepCheckpoint(std::string path, const SweepSpec &owner,
     load();
 }
 
+SweepCheckpoint::SweepCheckpoint(std::string path, const SweepSpec &owner,
+                                 std::string campaignName,
+                                 JournalOptions options)
+    : owned(std::make_unique<CampaignJournal>(std::move(path),
+                                              std::move(campaignName),
+                                              configOf(owner),
+                                              std::move(options))),
+      journal(owned.get()), prefix(Json::object()), spec(owner)
+{
+    load();
+}
+
 SweepCheckpoint::SweepCheckpoint(CampaignJournal &shared,
                                  const SweepSpec &owner, Json keyPrefix)
     : journal(&shared), prefix(std::move(keyPrefix)), spec(owner)
@@ -83,6 +95,12 @@ SweepCheckpoint::cached(std::size_t index) const
 {
     AERO_CHECK(has(index), "no journaled result at index ", index);
     return results[index];
+}
+
+bool
+SweepCheckpoint::tryClaim(const SimPoint &pt)
+{
+    return journal->tryClaim(keyOf(pt));
 }
 
 Json

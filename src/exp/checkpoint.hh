@@ -47,6 +47,17 @@ class SweepCheckpoint
                     std::string campaignName = "sweep");
 
     /**
+     * Like the owning constructor, but with explicit journal options:
+     * a non-empty JournalOptions::workerId opens @p path as an
+     * aero-campaign/2 journal *directory* (one journal.<worker>.jsonl
+     * per worker, merged on load), and JournalOptions::claims arms
+     * file-locked task claims so concurrent workers never duplicate
+     * in-flight points (see exp/campaign.hh for the full contract).
+     */
+    SweepCheckpoint(std::string path, const SweepSpec &spec,
+                    std::string campaignName, JournalOptions options);
+
+    /**
      * Attach to @p journal, already opened by the bench (which must
      * have included this spec in the journal's fingerprinted config).
      * @p keyPrefix namespaces this sweep's records so several stages —
@@ -69,6 +80,16 @@ class SweepCheckpoint
 
     /** The journaled result for @p index (check has() first). */
     const SimResult &cached(std::size_t index) const;
+
+    /** Does the underlying journal arbitrate tasks through claims? */
+    bool claimsEnabled() const { return journal->claimsEnabled(); }
+
+    /**
+     * Claim @p pt for this worker (always true when claims are off).
+     * False means a live sibling worker owns the point — skip it; its
+     * result arrives on the next merge. See CampaignJournal::tryClaim.
+     */
+    bool tryClaim(const SimPoint &pt);
 
     /**
      * Append one completed point and flush it to disk. Thread-safe: the

@@ -1,6 +1,7 @@
 #include "exp/diff.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -443,33 +444,69 @@ parseCsv(const std::string &text,
     return true;
 }
 
+/** Is @p cell exactly an optionally-'-'-signed run of digits? */
+bool
+lexicallyInteger(const std::string &cell)
+{
+    std::size_t i = cell[0] == '-' ? 1 : 0;
+    if (i >= cell.size())
+        return false;
+    for (; i < cell.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(cell[i])))
+            return false;
+    }
+    return true;
+}
+
 /**
  * Type a CSV cell the way the serializers wrote it: integers exactly
  * (so the diff's exact-integer rule applies), other numbers as double,
- * the empty cell as null, everything else as a string.
+ * the empty cell as null, everything else as a string. False (with
+ * @p error set) only for an integer cell that overflows 64 bits —
+ * silently degrading it to a lossy double would let a corrupted count
+ * "pass" the exact-integer comparison.
  */
-Json
-typedCell(const std::string &cell)
+bool
+typedCell(const std::string &cell, Json *out, std::string *error)
 {
-    if (cell.empty())
-        return Json{};
+    if (cell.empty()) {
+        *out = Json{};
+        return true;
+    }
     char *end = nullptr;
-    errno = 0;
-    if (cell[0] == '-') {
-        const long long v = std::strtoll(cell.c_str(), &end, 10);
-        if (end && *end == '\0' && errno != ERANGE)
-            return Json{static_cast<std::int64_t>(v)};
-    } else {
-        const unsigned long long v =
-            std::strtoull(cell.c_str(), &end, 10);
-        if (end && *end == '\0' && errno != ERANGE)
-            return Json{static_cast<std::uint64_t>(v)};
+    if (lexicallyInteger(cell)) {
+        // Only a lexically vetted cell may reach strtoull/strtoll:
+        // both skip leading whitespace, and strtoull *accepts* a
+        // leading '-' by wrapping modulo 2^64 (" -1" would become
+        // 18446744073709551615 and pass exact integer comparison).
+        errno = 0;
+        if (cell[0] == '-') {
+            const long long v = std::strtoll(cell.c_str(), &end, 10);
+            if (errno == ERANGE) {
+                *error = "integer cell overflows a signed 64-bit value";
+                return false;
+            }
+            *out = Json{static_cast<std::int64_t>(v)};
+        } else {
+            const unsigned long long v =
+                std::strtoull(cell.c_str(), &end, 10);
+            if (errno == ERANGE) {
+                *error =
+                    "integer cell overflows an unsigned 64-bit value";
+                return false;
+            }
+            *out = Json{static_cast<std::uint64_t>(v)};
+        }
+        return true;
     }
     errno = 0;
     const double d = std::strtod(cell.c_str(), &end);
-    if (end && *end == '\0' && errno != ERANGE)
-        return Json{d};
-    return Json{cell};
+    if (end && *end == '\0' && errno != ERANGE) {
+        *out = Json{d};
+        return true;
+    }
+    *out = Json{cell};
+    return true;
 }
 
 } // namespace
@@ -516,8 +553,18 @@ csvToReport(const std::string &text, Json *out, std::string *error)
             return false;
         }
         Json row = Json::object();
-        for (std::size_t c = 0; c < header.size(); ++c)
-            row[header[c]] = typedCell(rows[r][c]);
+        for (std::size_t c = 0; c < header.size(); ++c) {
+            Json value;
+            std::string cellError;
+            if (!typedCell(rows[r][c], &value, &cellError)) {
+                *error = detail::concat(
+                    "CSV artifact row ", r + 1, ", column ", c + 1,
+                    " ('", header[c], "'): ", cellError, ": '",
+                    rows[r][c], "'");
+                return false;
+            }
+            row[header[c]] = std::move(value);
+        }
         results.push(std::move(row));
     }
     doc["results"] = std::move(results);

@@ -348,35 +348,58 @@ SweepRunner::run(const SweepSpec &spec, const Progress &progress) const
 
 std::vector<SimResult>
 SweepRunner::run(const SweepSpec &spec, SweepCheckpoint &checkpoint,
-                 const Progress &progress) const
+                 const Progress &progress, int shardIndex,
+                 int shardCount) const
 {
+    AERO_CHECK(shardCount >= 1 && shardIndex >= 0 &&
+                   shardIndex < shardCount,
+               "sweep shard must satisfy 0 <= index < count, got ",
+               shardIndex, "/", shardCount);
     const auto points = spec.expand();
     std::vector<SimResult> results(points.size());
-    std::vector<std::size_t> pendingIdx;
-    std::vector<SimPoint> pendingPoints;
+    std::vector<std::size_t> pending;
     for (std::size_t i = 0; i < points.size(); ++i) {
         if (checkpoint.has(i)) {
             results[i] = checkpoint.cached(i);
-        } else {
-            pendingIdx.push_back(i);
-            pendingPoints.push_back(points[i]);
+        } else if (i % static_cast<std::size_t>(shardCount) ==
+                   static_cast<std::size_t>(shardIndex)) {
+            pending.push_back(i);
         }
     }
-    if (pendingPoints.empty())
+    if (pending.empty())
         return results;
-    // Journal before reporting progress: once a point has been
-    // announced, a crash must not lose it. The wrapper is always
-    // non-empty so every completed point is journaled even when the
-    // caller asked for no progress.
-    const Progress journaling = [&](std::size_t done, std::size_t total,
-                                    const SimResult &latest) {
-        checkpoint.record(latest);
-        if (progress)
-            progress(done, total, latest);
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;  // guarded by progressMutex
+    std::mutex progressMutex;
+    const auto worker = [&] {
+        for (std::size_t k; (k = next.fetch_add(1)) < pending.size();) {
+            const std::size_t i = pending[k];
+            // Claim before simulating: a point a live sibling worker
+            // owns would be wasted work (the journal merge keeps one
+            // record anyway, so correctness never depends on this).
+            if (!checkpoint.tryClaim(points[i]))
+                continue;
+            results[i] = runSimPoint(points[i], spec.base);
+            // Journal before reporting progress: once a point has been
+            // announced, a crash must not lose it. Counting inside the
+            // lock keeps reported progress moving forward only.
+            std::lock_guard<std::mutex> lock(progressMutex);
+            checkpoint.record(results[i]);
+            if (progress)
+                progress(++done, pending.size(), results[i]);
+        }
     };
-    auto fresh = run(pendingPoints, spec.base, journaling);
-    for (std::size_t k = 0; k < pendingIdx.size(); ++k)
-        results[pendingIdx[k]] = std::move(fresh[k]);
+    const int pool = detail::resolvePoolSize(poolSize, pending.size());
+    if (pool <= 1) {
+        worker();
+        return results;
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(pool));
+    for (int t = 0; t < pool; ++t)
+        workers.emplace_back(worker);
+    for (auto &w : workers)
+        w.join();
     return results;
 }
 

@@ -164,10 +164,29 @@ class SweepRunner
      * returned vector is in expand() order and bit-identical to an
      * uninterrupted run() of the same spec at any thread count; the
      * progress callback sees only the points actually simulated.
+     *
+     * @p shardIndex / @p shardCount restrict the run to the points at
+     * expand() indices congruent to shardIndex mod shardCount — the
+     * deterministic slice a `--shard i/N` worker owns. Off-shard points
+     * are still spliced from the journal when present (a merged
+     * directory journal carries every shard's records), but are never
+     * simulated here; their slots stay default-constructed otherwise,
+     * so a sharded driver must not write artifacts until every shard's
+     * records have been merged (checkpoint.cachedCount() == spec
+     * size()).
+     *
+     * When the checkpoint's journal has claims enabled
+     * (JournalOptions::claims), each pending point is claimed before
+     * simulation; points a live sibling worker owns are skipped — their
+     * results arrive through that worker's journal file on the next
+     * merge. Progress `total` counts this process's pending points, so
+     * with claims active `done` may stop short of `total`.
      */
     std::vector<SimResult> run(const SweepSpec &spec,
                                SweepCheckpoint &checkpoint,
-                               const Progress &progress = {}) const;
+                               const Progress &progress = {},
+                               int shardIndex = 0,
+                               int shardCount = 1) const;
 
     /** Run explicit points against a base drive; results in input order. */
     std::vector<SimResult> run(const std::vector<SimPoint> &points,

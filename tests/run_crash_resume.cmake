@@ -2,7 +2,13 @@
 #
 #   cmake -DBENCH=<bench-binary> -DDIFF=<aero_diff-binary>
 #         -DWORK=<scratch dir> -DTHREADS=<n> [-DMAX_KILLS=<n>]
-#         -P run_crash_resume.cmake
+#         [-DWORKERS=<n>] -P run_crash_resume.cmake
+#
+# With -DWORKERS=<n> every checkpointed attempt runs `--workers <n>`
+# against a journal *directory* (ck.dir), so the kill loop exercises the
+# multi-process path: SIGKILLing the driver tears down its forked
+# workers mid-claim (PDEATHSIG), and each restart must merge the
+# per-worker journal files — torn tails, stale claims and all.
 #
 # Procedure (the checkpoint contract, end to end on the real binary):
 #   1. Run `<bench> --small` uninterrupted -> clean.json / clean.csv.
@@ -30,6 +36,13 @@ foreach(required BENCH DIFF WORK THREADS)
 endforeach()
 if(NOT DEFINED MAX_KILLS)
     set(MAX_KILLS 20)
+endif()
+if(DEFINED WORKERS AND WORKERS GREATER 1)
+    set(ck_path "${WORK}/ck.dir")
+    set(worker_flags --workers "${WORKERS}")
+else()
+    set(ck_path "${WORK}/ck.jsonl")
+    set(worker_flags)
 endif()
 
 file(REMOVE_RECURSE "${WORK}")
@@ -82,13 +95,15 @@ foreach(attempt RANGE 1 ${MAX_KILLS})
     if(TIMEOUT_TOOL)
         execute_process(
             COMMAND "${TIMEOUT_TOOL}" --signal=KILL "${budget}"
-                "${BENCH}" --small --checkpoint "${WORK}/ck.jsonl"
+                "${BENCH}" --small --checkpoint "${ck_path}"
+                ${worker_flags}
                 --json "${WORK}/resumed.json" --csv "${WORK}/resumed.csv"
             RESULT_VARIABLE rc
             OUTPUT_QUIET ERROR_QUIET)
     else()
         execute_process(
-            COMMAND "${BENCH}" --small --checkpoint "${WORK}/ck.jsonl"
+            COMMAND "${BENCH}" --small --checkpoint "${ck_path}"
+                ${worker_flags}
                 --json "${WORK}/resumed.json" --csv "${WORK}/resumed.csv"
             TIMEOUT "${budget}"
             RESULT_VARIABLE rc
@@ -106,7 +121,8 @@ set(ENV{AERO_SWEEP_THREADS} "${THREADS}")
 if(NOT completed)
     # Pathologically slow machine: let the final resume run to the end.
     execute_process(
-        COMMAND "${BENCH}" --small --checkpoint "${WORK}/ck.jsonl"
+        COMMAND "${BENCH}" --small --checkpoint "${ck_path}"
+            ${worker_flags}
             --json "${WORK}/resumed.json" --csv "${WORK}/resumed.csv"
         RESULT_VARIABLE rc
         OUTPUT_QUIET)

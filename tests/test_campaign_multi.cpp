@@ -1,0 +1,615 @@
+/**
+ * @file
+ * Tests for multi-process campaign execution: directory-mode
+ * (`aero-campaign/2`) journals merged from per-worker files, file-locked
+ * claim records with stale-claim reaping, journal compaction, the
+ * per-record fsync durability knob, and — the capstone — a fork-based
+ * battery that runs real worker processes against one journal directory
+ * with randomized SIGKILLs and requires the merged resume to be
+ * byte-identical to a clean single-process run. The single-file
+ * `aero-campaign/1` format is pinned byte-for-byte so directory mode
+ * can never leak into existing journals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "exp/campaign.hh"
+#include "exp/checkpoint.hh"
+#include "exp/report.hh"
+#include "exp/sweep.hh"
+
+namespace aero
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** The tiny 2x2 grid every resume test replays (seconds, not hours). */
+SweepSpec
+tinySpec()
+{
+    return SweepBuilder()
+        .workloads({"prxy", "hm"})
+        .schemes({SchemeKind::Baseline, SchemeKind::Aero})
+        .pec(2500.0)
+        .requests(1500)
+        .baseConfig(SsdConfig::tiny())
+        .build();
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    const auto path = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(path);
+    return path.string();
+}
+
+std::string
+artifactOf(const SweepSpec &spec, const std::vector<SimResult> &results)
+{
+    return sweepReport(spec, results).dump(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+}
+
+Json
+unitConfig()
+{
+    Json config = Json::object();
+    config["what"] = "multi-process unit test";
+    return config;
+}
+
+Json
+taskKey(int task)
+{
+    Json key = Json::object();
+    key["task"] = task;
+    return key;
+}
+
+JournalOptions
+workerOptions(const std::string &id, bool claims = false)
+{
+    JournalOptions options;
+    options.workerId = id;
+    options.claims = claims;
+    return options;
+}
+
+/** A pid guaranteed dead: fork a child that exits, then reap it. */
+pid_t
+deadPid()
+{
+    const pid_t pid = fork();
+    if (pid == 0)
+        std::_Exit(0);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    return pid;
+}
+
+// --------------------------------------------------------------------------
+// Directory-mode journals: per-worker files, merged reads, last-wins.
+// --------------------------------------------------------------------------
+
+TEST(DirectoryJournal, WorkersMergeAcrossFiles)
+{
+    const std::string dir = tempPath("dir_merge");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0"));
+        w0.record(taskKey(0), Json(10));
+        w0.record(taskKey(1), Json(11));
+    }
+    {
+        CampaignJournal w1(dir, "unit-test", unitConfig(),
+                           workerOptions("w1"));
+        // w1 sees w0's records through the merge...
+        EXPECT_EQ(w1.cachedCount(), 2u);
+        EXPECT_EQ(w1.cached(taskKey(0)).asInt64(), 10);
+        w1.record(taskKey(2), Json(12));
+    }
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "journal.w0.jsonl"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "journal.w1.jsonl"));
+
+    CampaignJournal reader(dir, "unit-test", unitConfig(),
+                           workerOptions("reader"));
+    EXPECT_EQ(reader.cachedCount(), 3u);
+    for (int t = 0; t < 3; ++t) {
+        ASSERT_TRUE(reader.has(taskKey(t)));
+        EXPECT_EQ(reader.cached(taskKey(t)).asInt64(), 10 + t);
+    }
+}
+
+TEST(DirectoryJournal, DuplicateKeysLastFileWins)
+{
+    // Files merge in sorted filename order, so a key journaled by both
+    // w0 and w1 resolves to w1's payload on every reader.
+    const std::string dir = tempPath("dir_dup");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0"));
+        w0.record(taskKey(7), Json(1));
+    }
+    {
+        CampaignJournal w1(dir, "unit-test", unitConfig(),
+                           workerOptions("w1"));
+        w1.record(taskKey(7), Json(2));
+    }
+    CampaignJournal reader(dir, "unit-test", unitConfig(),
+                           workerOptions("reader"));
+    EXPECT_EQ(reader.cachedCount(), 1u);
+    EXPECT_EQ(reader.cached(taskKey(7)).asInt64(), 2);
+}
+
+TEST(DirectoryJournal, SiblingTornTailIsIgnoredNotTruncated)
+{
+    // A sibling worker's file may end mid-append (it could still be
+    // live): its torn tail must be skipped on merge but the file left
+    // untouched — only our own file is ever truncated.
+    const std::string dir = tempPath("dir_torn");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0"));
+        w0.record(taskKey(0), Json(10));
+        w0.record(taskKey(1), Json(11));
+    }
+    const std::string w0Path =
+        (fs::path(dir) / "journal.w0.jsonl").string();
+    const std::string before = readFile(w0Path);
+    writeFile(w0Path, before + "{\"fingerprint\":\"tor");
+
+    CampaignJournal w1(dir, "unit-test", unitConfig(),
+                       workerOptions("w1"));
+    EXPECT_EQ(w1.cachedCount(), 2u);
+    EXPECT_EQ(readFile(w0Path), before + "{\"fingerprint\":\"tor")
+        << "merging must never modify another worker's file";
+
+    // Our *own* torn tail is truncated as in single-file mode.
+    CampaignJournal w0Again(dir, "unit-test", unitConfig(),
+                            workerOptions("w0"));
+    EXPECT_EQ(readFile(w0Path), before);
+}
+
+TEST(DirectoryJournalDeath, ForeignWorkerFileFailsTheMerge)
+{
+    const std::string dir = tempPath("dir_foreign");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0"));
+        w0.record(taskKey(0), Json(0));
+    }
+    // Forge another campaign's worker file into the directory (it has
+    // to be forged — opening the shared directory under a different
+    // campaign name would already refuse the merge).
+    const std::string foreign = tempPath("dir_foreign_src");
+    {
+        CampaignJournal other(foreign, "other-campaign", unitConfig(),
+                              workerOptions("w1"));
+        other.record(taskKey(1), Json(1));
+    }
+    fs::copy_file(fs::path(foreign) / "journal.w1.jsonl",
+                  fs::path(dir) / "journal.w1.jsonl");
+    EXPECT_DEATH(CampaignJournal(dir, "unit-test", unitConfig(),
+                                 workerOptions("w2")),
+                 "belongs to campaign 'other-campaign'");
+}
+
+TEST(DirectoryJournalDeath, BadWorkerIdAndMisuseAreFatal)
+{
+    EXPECT_DEATH(CampaignJournal(tempPath("bad_id"), "unit-test",
+                                 unitConfig(),
+                                 workerOptions("w0/../evil")),
+                 "may only contain");
+    JournalOptions claimsOnly;
+    claimsOnly.claims = true;
+    EXPECT_DEATH(CampaignJournal(tempPath("claims_only.jsonl"),
+                                 "unit-test", unitConfig(), claimsOnly),
+                 "claims need a directory-mode journal");
+}
+
+TEST(DirectoryJournalDeath, LiveWorkerIdIsLocked)
+{
+    // Two live processes must not share a worker id: the second would
+    // interleave torn lines into the first's append stream.
+    const std::string dir = tempPath("dir_lock");
+    CampaignJournal held(dir, "unit-test", unitConfig(),
+                         workerOptions("w0"));
+    held.record(taskKey(0), Json(0));
+    EXPECT_DEATH(CampaignJournal(dir, "unit-test", unitConfig(),
+                                 workerOptions("w0")),
+                 "already active");
+    // A different worker id coexists fine.
+    CampaignJournal other(dir, "unit-test", unitConfig(),
+                          workerOptions("w1"));
+    EXPECT_EQ(other.cachedCount(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// The single-file format must stay pinned byte-for-byte.
+// --------------------------------------------------------------------------
+
+TEST(SingleFileFormat, HeaderAndRecordBytesArePinned)
+{
+    // PR 9 added directory mode; the aero-campaign/1 single-file
+    // format these exact bytes pin must never change (existing
+    // journals resume bit-identically).
+    const std::string path = tempPath("pinned.jsonl");
+    Json config = Json::object();
+    config["n"] = 3;
+    {
+        CampaignJournal journal(path, "pin-test", config);
+        journal.record(taskKey(1), Json(0.1));
+    }
+    const std::string fp =
+        CampaignJournal::fingerprint("pin-test", config);
+    EXPECT_EQ(readFile(path),
+              "{\"schema\":\"aero-campaign/1\",\"campaign\":\"pin-test\","
+              "\"fingerprint\":\"" + fp + "\",\"config\":{\"n\":3}}\n"
+              "{\"fingerprint\":\"" + fp + "\",\"key\":{\"task\":1},"
+              "\"payload\":0.1}\n");
+}
+
+// --------------------------------------------------------------------------
+// Claims: file-locked task arbitration with stale-claim reaping.
+// --------------------------------------------------------------------------
+
+TEST(Claims, DisabledClaimsAlwaysGrant)
+{
+    const std::string path = tempPath("noclaims.jsonl");
+    CampaignJournal journal(path, "unit-test", unitConfig());
+    EXPECT_FALSE(journal.claimsEnabled());
+    EXPECT_TRUE(journal.tryClaim(taskKey(0)));
+    EXPECT_EQ(journal.claimSyncCount(), 0u);
+}
+
+TEST(Claims, LiveSiblingClaimDeniesOthersButNotOwner)
+{
+    const std::string dir = tempPath("claims_live");
+    CampaignJournal w0(dir, "unit-test", unitConfig(),
+                       workerOptions("w0", /*claims=*/true));
+    CampaignJournal w1(dir, "unit-test", unitConfig(),
+                       workerOptions("w1", /*claims=*/true));
+    EXPECT_TRUE(w0.tryClaim(taskKey(0)));
+    // Both handles live in this (live) process, so w1 is denied...
+    EXPECT_FALSE(w1.tryClaim(taskKey(0)));
+    // ...but the owner may re-claim its own key (a resumed worker).
+    EXPECT_TRUE(w0.tryClaim(taskKey(0)));
+    // An unrelated key is free.
+    EXPECT_TRUE(w1.tryClaim(taskKey(1)));
+    EXPECT_GE(w0.claimSyncCount(), 2u);  // claims are always fsync'ed
+}
+
+TEST(Claims, DeadWorkersClaimIsReaped)
+{
+    const std::string dir = tempPath("claims_stale");
+    const pid_t stale = deadPid();
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0", /*claims=*/true));
+        ASSERT_TRUE(w0.tryClaim(taskKey(0)));
+    }
+    // Forge the claims file so the claim belongs to a pid that is
+    // definitely dead (w0's claim actually carries our live pid, which
+    // would deny w1 even though w0's handle is closed — pid liveness,
+    // not handle liveness, is the contract).
+    const std::string claimsPath =
+        (fs::path(dir) / "claims.jsonl").string();
+    std::string text = readFile(claimsPath);
+    const std::string needle = "\"pid\":";
+    const std::size_t at = text.rfind(needle);
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t valueAt = at + needle.size();
+    const std::size_t valueEnd = text.find_first_of(",}", valueAt);
+    text = text.substr(0, valueAt) + std::to_string(stale) +
+           text.substr(valueEnd);
+    writeFile(claimsPath, text);
+
+    CampaignJournal w1(dir, "unit-test", unitConfig(),
+                       workerOptions("w1", /*claims=*/true));
+    EXPECT_TRUE(w1.tryClaim(taskKey(0)))
+        << "a dead worker's claim must be silently reaped";
+}
+
+TEST(Claims, TornClaimTailNeverTookEffect)
+{
+    const std::string dir = tempPath("claims_torn");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0", /*claims=*/true));
+        ASSERT_TRUE(w0.tryClaim(taskKey(0)));
+    }
+    // A crash mid-claim leaves a torn final line; the claim is void.
+    const std::string claimsPath =
+        (fs::path(dir) / "claims.jsonl").string();
+    writeFile(claimsPath,
+              readFile(claimsPath) + "{\"fingerprint\":\"to");
+    CampaignJournal w1(dir, "unit-test", unitConfig(),
+                       workerOptions("w1", /*claims=*/true));
+    EXPECT_TRUE(w1.tryClaim(taskKey(9)));
+}
+
+// --------------------------------------------------------------------------
+// Durability: the per-record fsync knob and its env override.
+// --------------------------------------------------------------------------
+
+TEST(Durability, FsyncRecordsCountsEveryAppend)
+{
+    const std::string path = tempPath("fsync.jsonl");
+    JournalOptions options;
+    options.fsyncRecords = true;
+    CampaignJournal journal(path, "unit-test", unitConfig(), options);
+    EXPECT_EQ(journal.recordSyncCount(), 1u);  // the header
+    journal.record(taskKey(0), Json(0));
+    journal.record(taskKey(1), Json(1));
+    EXPECT_EQ(journal.recordSyncCount(), 3u);
+}
+
+TEST(Durability, DefaultIsFlushOnlyAndEnvOverridesBothWays)
+{
+    {
+        CampaignJournal journal(tempPath("nofsync.jsonl"), "unit-test",
+                                unitConfig());
+        journal.record(taskKey(0), Json(0));
+        EXPECT_EQ(journal.recordSyncCount(), 0u);
+    }
+    setenv("AERO_JOURNAL_FSYNC", "1", 1);
+    {
+        CampaignJournal journal(tempPath("envfsync.jsonl"), "unit-test",
+                                unitConfig());
+        journal.record(taskKey(0), Json(0));
+        EXPECT_EQ(journal.recordSyncCount(), 2u);
+    }
+    setenv("AERO_JOURNAL_FSYNC", "0", 1);
+    {
+        JournalOptions options;
+        options.fsyncRecords = true;  // env wins in both directions
+        CampaignJournal journal(tempPath("envoff.jsonl"), "unit-test",
+                                unitConfig(), options);
+        journal.record(taskKey(0), Json(0));
+        EXPECT_EQ(journal.recordSyncCount(), 0u);
+    }
+    unsetenv("AERO_JOURNAL_FSYNC");
+}
+
+TEST(DurabilityDeath, MalformedEnvIsFatal)
+{
+    setenv("AERO_JOURNAL_FSYNC", "yes", 1);
+    EXPECT_DEATH(CampaignJournal(tempPath("envbad.jsonl"), "unit-test",
+                                 unitConfig()),
+                 "AERO_JOURNAL_FSYNC must be 0 or 1");
+    unsetenv("AERO_JOURNAL_FSYNC");
+}
+
+// --------------------------------------------------------------------------
+// Compaction.
+// --------------------------------------------------------------------------
+
+TEST(Compaction, DirectoryBecomesOneDeduplicatedFile)
+{
+    const std::string dir = tempPath("compact_dir");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0", /*claims=*/true));
+        ASSERT_TRUE(w0.tryClaim(taskKey(0)));
+        w0.record(taskKey(0), Json(10));
+        w0.record(taskKey(1), Json(99));  // superseded below
+    }
+    {
+        CampaignJournal w1(dir, "unit-test", unitConfig(),
+                           workerOptions("w1"));
+        w1.record(taskKey(1), Json(11));
+        w1.record(taskKey(2), Json(12));
+    }
+    const CompactStats stats = compactCampaignJournal(dir);
+    EXPECT_EQ(stats.files, 2u);
+    EXPECT_EQ(stats.recordsIn, 4u);
+    EXPECT_EQ(stats.recordsOut, 3u);
+
+    std::vector<std::string> remaining;
+    for (const auto &entry : fs::directory_iterator(dir))
+        remaining.push_back(entry.path().filename().string());
+    EXPECT_EQ(remaining,
+              std::vector<std::string>{"journal.compacted.jsonl"})
+        << "worker files and claims.jsonl must be gone";
+
+    CampaignJournal reader(dir, "unit-test", unitConfig(),
+                           workerOptions("reader"));
+    EXPECT_EQ(reader.cachedCount(), 3u);
+    for (int t = 0; t < 3; ++t)
+        EXPECT_EQ(reader.cached(taskKey(t)).asInt64(), 10 + t);
+}
+
+TEST(Compaction, SingleFileDeduplicatesInPlaceAndIsIdempotent)
+{
+    const std::string path = tempPath("compact_file.jsonl");
+    {
+        CampaignJournal journal(path, "unit-test", unitConfig());
+        journal.record(taskKey(0), Json(1));
+        journal.record(taskKey(0), Json(2));
+        journal.record(taskKey(1), Json(3));
+    }
+    const CompactStats stats = compactCampaignJournal(path);
+    EXPECT_EQ(stats.files, 1u);
+    EXPECT_EQ(stats.recordsIn, 3u);
+    EXPECT_EQ(stats.recordsOut, 2u);
+    const std::string once = readFile(path);
+
+    const CompactStats again = compactCampaignJournal(path);
+    EXPECT_EQ(again.recordsIn, 2u);
+    EXPECT_EQ(again.recordsOut, 2u);
+    EXPECT_EQ(readFile(path), once) << "compaction must be idempotent";
+
+    CampaignJournal reopened(path, "unit-test", unitConfig());
+    EXPECT_EQ(reopened.cachedCount(), 2u);
+    EXPECT_EQ(reopened.cached(taskKey(0)).asInt64(), 2);
+}
+
+TEST(CompactionDeath, MismatchedFingerprintsRefuse)
+{
+    const std::string dir = tempPath("compact_mixed");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0"));
+        w0.record(taskKey(0), Json(0));
+    }
+    // Forge a same-name worker file with a different configuration
+    // (a journal handle on the shared directory would refuse to open).
+    Json other = unitConfig();
+    other["spliced"] = true;
+    const std::string foreign = tempPath("compact_mixed_src");
+    {
+        CampaignJournal w1(foreign, "unit-test", other,
+                           workerOptions("w1"));
+        w1.record(taskKey(1), Json(1));
+    }
+    fs::copy_file(fs::path(foreign) / "journal.w1.jsonl",
+                  fs::path(dir) / "journal.w1.jsonl");
+    EXPECT_DEATH(compactCampaignJournal(dir),
+                 "belongs to a different campaign configuration");
+    EXPECT_DEATH(compactCampaignJournal(tempPath("compact_missing")),
+                 "no campaign journal");
+}
+
+// --------------------------------------------------------------------------
+// Sharded checkpointed runs: disjoint expand() slices into one journal.
+// --------------------------------------------------------------------------
+
+TEST(ShardedSweep, ShardsUnionToTheCleanArtifact)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string reference =
+        artifactOf(spec, SweepRunner(1).run(spec));
+    const std::string path = tempPath("sharded.jsonl");
+    {
+        SweepCheckpoint shard0(path, spec);
+        SweepRunner(1).run(spec, shard0, {}, /*shardIndex=*/0,
+                           /*shardCount=*/2);
+        EXPECT_EQ(shard0.cachedCount(), spec.size() / 2);
+    }
+    SweepCheckpoint shard1(path, spec);
+    const auto results = SweepRunner(1).run(spec, shard1, {},
+                                            /*shardIndex=*/1,
+                                            /*shardCount=*/2);
+    EXPECT_EQ(shard1.cachedCount(), spec.size());
+    EXPECT_EQ(artifactOf(spec, results), reference);
+}
+
+TEST(ShardedSweep, OffShardPointsAreNeverSimulated)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string path = tempPath("shard_skip.jsonl");
+    SweepCheckpoint ckpt(path, spec);
+    std::size_t simulated = 0;
+    SweepRunner(1).run(
+        spec, ckpt,
+        [&](std::size_t, std::size_t, const SimResult &) {
+            simulated += 1;
+        },
+        /*shardIndex=*/1, /*shardCount=*/4);
+    EXPECT_EQ(simulated, spec.size() / 4);
+    EXPECT_EQ(ckpt.cachedCount(), spec.size() / 4);
+}
+
+// --------------------------------------------------------------------------
+// The capstone: real forked worker processes, randomized SIGKILLs, and
+// a merged resume that must be byte-identical to a clean run.
+// --------------------------------------------------------------------------
+
+/** Run one forked worker over @p spec in @p dir; never returns. */
+[[noreturn]] void
+workerMain(const std::string &dir, const SweepSpec &spec, int worker)
+{
+    JournalOptions options;
+    // Built by append (not operator+) to dodge GCC 12's -Wrestrict
+    // false positive on char* + std::string&&.
+    options.workerId = "w";
+    options.workerId += std::to_string(worker);
+    options.claims = true;
+    SweepCheckpoint ckpt(dir, spec, "sweep", options);
+    SweepRunner(1).run(spec, ckpt);
+    std::_Exit(0);
+}
+
+TEST(MultiProcessSweep, RandomlyKilledWorkersMergeBitIdentical)
+{
+    const SweepSpec spec = tinySpec();
+    const std::string reference =
+        artifactOf(spec, SweepRunner(1).run(spec));
+
+    std::mt19937 rng(20260808);
+    for (int trial = 0; trial < 3; ++trial) {
+        const std::string dir =
+            tempPath("mp_trial" + std::to_string(trial));
+        constexpr int kWorkers = 3;
+        std::vector<pid_t> pids;
+        for (int w = 0; w < kWorkers; ++w) {
+            const pid_t pid = fork();
+            ASSERT_GE(pid, 0);
+            if (pid == 0)
+                workerMain(dir, spec, w);  // never returns
+            pids.push_back(pid);
+        }
+        // SIGKILL one worker at a random moment — possibly mid-claim,
+        // mid-simulation, or mid-append.
+        const int victim = static_cast<int>(rng() % kWorkers);
+        usleep(1000 * (rng() % 120));
+        kill(pids[static_cast<std::size_t>(victim)], SIGKILL);
+        for (const pid_t pid : pids) {
+            int status = 0;
+            ASSERT_EQ(waitpid(pid, &status, 0), pid);
+            if (pid != pids[static_cast<std::size_t>(victim)]) {
+                EXPECT_TRUE(WIFEXITED(status) &&
+                            WEXITSTATUS(status) == 0)
+                    << "surviving worker died, trial " << trial;
+            }
+        }
+        // The merged resume completes whatever the victim dropped and
+        // must reproduce the clean artifact byte-for-byte.
+        SweepCheckpoint merged(dir, spec, "sweep",
+                               workerOptions("merge"));
+        const auto results = SweepRunner(2).run(spec, merged);
+        EXPECT_EQ(artifactOf(spec, results), reference)
+            << "trial " << trial << " (killed w" << victim << ")";
+
+        // And compaction of the survivor files round-trips.
+        const CompactStats stats = compactCampaignJournal(dir);
+        EXPECT_EQ(stats.recordsOut, spec.size());
+        SweepCheckpoint compacted(dir, spec, "sweep",
+                                  workerOptions("merge"));
+        EXPECT_EQ(compacted.cachedCount(), spec.size());
+        const auto again = SweepRunner(1).run(spec, compacted);
+        EXPECT_EQ(artifactOf(spec, again), reference);
+    }
+}
+
+} // namespace
+} // namespace aero

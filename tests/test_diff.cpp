@@ -436,6 +436,63 @@ TEST(CsvReports, NonFatalParserReportsErrors)
     EXPECT_EQ(doc.find("results")->size(), 1u);
 }
 
+TEST(CsvReports, NegativeAndWhitespaceIntegerCellsNeverWrap)
+{
+    // Regression: strtoull accepts a (possibly whitespace-prefixed)
+    // '-' sign by wrapping modulo 2^64, so a " -1" cell became
+    // 18446744073709551615 and "passed" exact integer comparison.
+    const Json report = csvToReport("x,y,z\n-42, -1,-0\n");
+    const Json &row = report.find("results")->at(0);
+    ASSERT_TRUE(row.find("x")->isIntegral());
+    EXPECT_EQ(row.find("x")->asInt64(), -42);
+    // A whitespace-prefixed numeral is not how any serializer writes
+    // integers; it types as a double (and must never wrap).
+    ASSERT_FALSE(row.find("y")->isIntegral());
+    ASSERT_TRUE(row.find("y")->isNumeric());
+    EXPECT_EQ(row.find("y")->asDouble(), -1.0);
+    ASSERT_TRUE(row.find("z")->isIntegral());
+    EXPECT_EQ(row.find("z")->asInt64(), 0);
+}
+
+TEST(CsvReports, IntegerOverflowIsAPositionedErrorNotADouble)
+{
+    // Regression: an out-of-range integer cell used to degrade
+    // silently to a lossy double, letting a corrupted count pass the
+    // exact-integer comparison. It must fail naming row and column.
+    Json doc;
+    std::string error;
+    EXPECT_FALSE(csvToReport("erases,ok\n18446744073709551616,1\n",
+                             &doc, &error));
+    EXPECT_NE(error.find("row 2, column 1 ('erases')"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("overflows an unsigned 64-bit value"),
+              std::string::npos)
+        << error;
+
+    error.clear();
+    EXPECT_FALSE(csvToReport(
+        "a,delta\n1,-9223372036854775809\n", &doc, &error));
+    EXPECT_NE(error.find("row 2, column 2 ('delta')"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("overflows a signed 64-bit value"),
+              std::string::npos)
+        << error;
+
+    // The fatal wrapper dies with the same positioned message.
+    EXPECT_DEATH(csvToReport("erases\n18446744073709551616\n"),
+                 "row 2, column 1 \\('erases'\\)");
+
+    // The extremes themselves still parse exactly.
+    const Json edge = csvToReport(
+        "hi,lo\n18446744073709551615,-9223372036854775808\n");
+    const Json &row = edge.find("results")->at(0);
+    EXPECT_EQ(row.find("hi")->asUint64(), 18446744073709551615ull);
+    EXPECT_EQ(row.find("lo")->asInt64(),
+              std::numeric_limits<std::int64_t>::min());
+}
+
 TEST(DiffReports, IgnoredAxisKeyDropsOutOfRowIdentity)
 {
     const Json a = doc(R"({"schema": "s", "axes": ["i", "seed"],
