@@ -21,9 +21,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Figure 4: erase latency variation vs P/E cycles");
     FarmConfig fc;
     fc.numChips = artifacts.small ? 6 : 24;
@@ -33,9 +34,16 @@ main(int argc, char **argv)
     Json journal_cfg = bench::farmJournalConfig(
         fc.numChips, fc.blocksPerChip, fc.seed, artifacts.small);
     journal_cfg["pecs"] = bench::jsonArray(pecs);
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal("fig04_erase_latency_cdf",
                                                std::move(journal_cfg));
     const auto data = runFig4Experiment(fc, pecs, {journal.get()});
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
     std::printf("%zu blocks per curve (paper: 19200 across 160 chips)\n",
                 static_cast<std::size_t>(data.blocksPerCurve));
     bench::rule();

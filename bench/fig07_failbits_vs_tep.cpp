@@ -16,9 +16,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Figure 7: fail-bit count vs accumulated tEP");
     FarmConfig fc;
     fc.numChips = artifacts.small ? 8 : 24;
@@ -27,9 +28,16 @@ main(int argc, char **argv)
     Json journal_cfg = bench::farmJournalConfig(
         fc.numChips, fc.blocksPerChip, fc.seed, artifacts.small);
     journal_cfg["pecs"] = bench::jsonArray(pecs);
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal("fig07_failbits_vs_tep",
                                                std::move(journal_cfg));
     const auto data = runFig7Experiment(fc, pecs, {journal.get()});
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
     const auto p = ChipParams::tlc3d();
     std::printf("max F(N_ISPE) by remaining erase time "
                 "(columns: slots of 0.5 ms still needed)\n");

@@ -17,9 +17,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Figure 8: mtEP(N_ISPE) probability by fail-bit range");
     FarmConfig fc;
     fc.numChips = artifacts.small ? 8 : 28;
@@ -29,9 +30,16 @@ main(int argc, char **argv)
     Json journal_cfg = bench::farmJournalConfig(
         fc.numChips, fc.blocksPerChip, fc.seed, artifacts.small);
     journal_cfg["pecs"] = bench::jsonArray(pecs);
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal("fig08_felp_accuracy",
                                                std::move(journal_cfg));
     const auto data = runFig8Experiment(fc, pecs, {journal.get()});
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
     for (const auto &row : data.rows) {
         std::printf("\nN_ISPE = %d (%d samples)\n", row.nIspe,
                     row.samples);

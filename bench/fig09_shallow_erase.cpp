@@ -18,9 +18,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Figure 9: fail-bit distribution under varying tSE");
     FarmConfig fc;
     fc.numChips = artifacts.small ? 6 : 24;
@@ -31,10 +32,17 @@ main(int argc, char **argv)
         fc.numChips, fc.blocksPerChip, fc.seed, artifacts.small);
     journal_cfg["tse_slots"] = bench::jsonArray(tse_slots);
     journal_cfg["pecs"] = bench::jsonArray(pecs);
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal("fig09_shallow_erase",
                                                std::move(journal_cfg));
     const auto data =
         runFig9Experiment(fc, tse_slots, pecs, {journal.get()});
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
     bench::rule();
     std::printf("%6s | %5s | F(0) range occupancy [%%]%18s| %8s | %8s\n",
                 "PEC", "tSE", "", "benefit", "tBERS");

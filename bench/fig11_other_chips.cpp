@@ -18,9 +18,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Figure 11: erase characteristics of other chip types");
     const int farm_chips = artifacts.small ? 6 : 16;
     const int farm_blocks = artifacts.small ? 10 : 24;
@@ -33,6 +34,11 @@ main(int argc, char **argv)
     for (const ChipType type : types)
         journal_types.push(chipTypeName(type));
     journal_cfg["chip_types"] = std::move(journal_types);
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal("fig11_other_chips",
                                                std::move(journal_cfg));
     const CampaignScope scope{journal.get()};
@@ -45,6 +51,8 @@ main(int argc, char **argv)
         return runFig11Experiment(
             fc, scope.with("chip_type", chipTypeName(type)));
     });
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
 
     bench::DevcharReport report("fig11_other_chips",
                                 {"chip", "kind", "n_ispe", "range"});

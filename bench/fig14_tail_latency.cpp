@@ -29,9 +29,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Figure 14: read tail latency (normalized to Baseline)");
 
     // --small: the regression-gate grid — three workloads, two PEC
@@ -56,6 +57,11 @@ main(int argc, char **argv)
                 "%zu points on %d threads (env AERO_SWEEP_THREADS)\n",
                 static_cast<unsigned long long>(spec.requests), spec.size(),
                 SweepRunner().threads());
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal(
         "fig14_tail_latency", SweepCheckpoint::configOf(spec));
     std::vector<SimResult> results;
@@ -65,6 +71,8 @@ main(int argc, char **argv)
     } else {
         results = SweepRunner().run(spec);
     }
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
     artifacts.writeSweep(spec, results);
 
     // Geometric mean over seeds of one result metric.

@@ -20,9 +20,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Figure 15: erase suspension vs AERO");
 
     // --small pins a fixed request count so the golden baselines do not
@@ -41,6 +42,11 @@ main(int argc, char **argv)
                 "threads\n",
                 static_cast<unsigned long long>(spec.requests), spec.size(),
                 SweepRunner().threads());
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal(
         "fig15_erase_suspension", SweepCheckpoint::configOf(spec));
     std::vector<SimResult> results;
@@ -50,6 +56,8 @@ main(int argc, char **argv)
     } else {
         results = SweepRunner().run(spec);
     }
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
     artifacts.writeSweep(spec, results);
 
     bench::rule();

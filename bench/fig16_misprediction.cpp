@@ -20,9 +20,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Figure 16: impact of misprediction rate");
     // --small: the regression-gate config — three rates, a smaller
     // block farm, and a fixed request count for the tail-latency side.
@@ -65,6 +66,11 @@ main(int argc, char **argv)
     journal_cfg["tail_baseline_spec"] =
         SweepCheckpoint::configOf(base_spec);
     journal_cfg["tail_aero_spec"] = SweepCheckpoint::configOf(spec);
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal("fig16_misprediction",
                                                std::move(journal_cfg));
     const CampaignScope scope{journal.get()};
@@ -85,20 +91,6 @@ main(int argc, char **argv)
         },
         [](const LifetimeResult &r) { return toJson(r); },
         lifetimeResultFromJson);
-    const double base_life = lifetimes[0].lifetimePec;
-
-    std::printf("lifetime improvement over Baseline (%0.0f PEC)\n",
-                base_life);
-    bench::rule();
-    std::printf("%8s | %10s | %10s\n", "misrate", "AERO-CONS", "AERO");
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        const auto &cons = lifetimes[1 + 2 * i];
-        const auto &aero = lifetimes[2 + 2 * i];
-        std::printf("%7.0f%% | %+9.1f%% | %+9.1f%%\n", rates[i] * 100.0,
-                    100.0 * (cons.lifetimePec - base_life) / base_life,
-                    100.0 * (aero.lifetimePec - base_life) / base_life);
-    }
-    bench::rule();
 
     // Tail-latency side (0.5K PEC, prxy): one Baseline reference point
     // plus AERO across the misprediction axis (Baseline ignores the
@@ -120,6 +112,26 @@ main(int argc, char **argv)
         base_results = SweepRunner().run(base_spec);
         results = SweepRunner().run(spec);
     }
+    // A worker's share is journaled once both stages have run; the
+    // tables and artifacts below belong to the driver, which resumes
+    // with every record cached.
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
+
+    const double base_life = lifetimes[0].lifetimePec;
+    std::printf("lifetime improvement over Baseline (%0.0f PEC)\n",
+                base_life);
+    bench::rule();
+    std::printf("%8s | %10s | %10s\n", "misrate", "AERO-CONS", "AERO");
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const auto &cons = lifetimes[1 + 2 * i];
+        const auto &aero = lifetimes[2 + 2 * i];
+        std::printf("%7.0f%% | %+9.1f%% | %+9.1f%%\n", rates[i] * 100.0,
+                    100.0 * (cons.lifetimePec - base_life) / base_life,
+                    100.0 * (aero.lifetimePec - base_life) / base_life);
+    }
+    bench::rule();
+
     const auto &base = base_results.front();
 
     std::printf("\nread tail latency at 0.5K PEC (prxy), normalized to "

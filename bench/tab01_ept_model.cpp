@@ -16,9 +16,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Table 1: erase-timing parameter table (EPT)");
     const auto params = ChipParams::tlc3d();
 
@@ -35,10 +36,17 @@ main(int argc, char **argv)
     Json journal_cfg = bench::farmJournalConfig(
         pc.numChips, bcfg.blocksPerChip, pc.seed, artifacts.small);
     journal_cfg["pec_points"] = bench::jsonArray(bcfg.pecPoints);
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal("tab01_ept_model",
                                                std::move(journal_cfg));
     EptBuilder builder(pop, bcfg);
     const Ept built = builder.build({journal.get()});
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
     std::printf("\nderived by m-ISPE characterization "
                 "(%llu measurements):\n%s",
                 static_cast<unsigned long long>(builder.measurements()),

@@ -21,9 +21,10 @@ using namespace aero;
 int
 main(int argc, char **argv)
 {
-    const auto artifacts =
+    auto artifacts =
         bench::parseArtifactArgs(argc, argv, /*allow_small=*/true,
-                                 /*allow_checkpoint=*/true);
+                                 /*allow_checkpoint=*/true,
+                                 /*allow_workers=*/true);
     bench::header("Table 4: average I/O performance (normalized %)");
 
     // --small: the regression-gate grid (three workloads, two PEC
@@ -44,6 +45,11 @@ main(int argc, char **argv)
     std::printf("requests/run: %llu, %zu points on %d threads\n",
                 static_cast<unsigned long long>(spec.requests), spec.size(),
                 SweepRunner().threads());
+    // Fork before opening the journal: each worker child opens its own
+    // journal file with claims armed, computes its claimed share, and
+    // exits; the parent waits, then reopens the merged directory with
+    // every record cached and assembles the artifacts alone.
+    artifacts.forkWorkers();
     const auto journal = artifacts.openJournal(
         "tab04_avg_performance", SweepCheckpoint::configOf(spec));
     std::vector<SimResult> results;
@@ -53,6 +59,8 @@ main(int argc, char **argv)
     } else {
         results = SweepRunner().run(spec);
     }
+    if (artifacts.isWorker())
+        artifacts.exitWorker();
     artifacts.writeSweep(spec, results);
 
     bench::rule();

@@ -16,6 +16,17 @@
  * `--small` runs a fixed hermetic mix for the golden gate (prxy/hm/usr,
  * 1200 requests each, Baseline vs AERO at 2.5K PEC) and therefore
  * rejects `--tenants`.
+ *
+ * `--slo` turns the campaign into an SLO-enforcement study: every cell
+ * runs under queued channel arbitration and the SloPolicy axis (none /
+ * throttle / wfq / throttle+wfq) joins the grid, with per-tenant
+ * deferral and p99-attainment columns in the artifact. `--slo noisy` is
+ * the built-in noisy-neighbor configuration the golden gate pins: a
+ * read-heavy victim tenant with a p99 target shares the drive with a
+ * write-heavy aggressor pushing far past its IOPS budget, so `none`
+ * demonstrably violates the victim's SLO and `throttle+wfq` restores
+ * it. Any other `--slo` argument is parsed as a TenantSloSpec and
+ * applied to the current mix.
  */
 
 #include <cstring>
@@ -42,12 +53,22 @@ struct TenantRow
     double avgReadUs = 0.0;
     double p99Us = 0.0;
     double p999Us = 0.0;
+
+    /** @name SLO mode only (emitted when slo is set) */
+    /** @{ */
+    bool slo = false;
+    std::uint64_t throttleDeferrals = 0;
+    double throttleDeferredMs = 0.0;
+    std::uint64_t p99TargetUs = 0;  //!< 0: tenant has no target
+    bool p99Attained = false;       //!< meaningful iff p99TargetUs != 0
+    /** @} */
 };
 
 struct Cell
 {
     SchemeKind scheme = SchemeKind::Baseline;
     double pec = 500.0;
+    SloPolicy policy = SloPolicy::None;  //!< only varied in SLO mode
 };
 
 struct CellResult
@@ -68,6 +89,14 @@ toJson(const CellResult &r)
         row["avg_read_us"] = t.avgReadUs;
         row["p99_us"] = t.p99Us;
         row["p999_us"] = t.p999Us;
+        if (t.slo) {
+            row["throttle_deferrals"] = t.throttleDeferrals;
+            row["throttle_deferred_ms"] = t.throttleDeferredMs;
+            if (t.p99TargetUs != 0) {
+                row["p99_target_us"] = t.p99TargetUs;
+                row["p99_attained"] = t.p99Attained;
+            }
+        }
         rows.push(std::move(row));
     }
     return rows;
@@ -87,49 +116,133 @@ cellFromJson(const Json &rows)
         t.avgReadUs = row.get("avg_read_us").asDouble();
         t.p99Us = row.get("p99_us").asDouble();
         t.p999Us = row.get("p999_us").asDouble();
+        if (const Json *d = row.find("throttle_deferrals")) {
+            t.slo = true;
+            t.throttleDeferrals = d->asUint64();
+            t.throttleDeferredMs =
+                row.get("throttle_deferred_ms").asDouble();
+            if (const Json *target = row.find("p99_target_us")) {
+                t.p99TargetUs = target->asUint64();
+                t.p99Attained = row.get("p99_attained").asBool();
+            }
+        }
         r.rows.push_back(std::move(t));
     }
     return r;
 }
 
+/** Everything a cell run needs beyond its own axes. */
+struct CampaignSetup
+{
+    std::vector<TenantSource> sources;
+    std::string gcPolicy = "greedy";
+    std::string wearLevel = "none";
+    bool slo = false;            //!< SLO mode: queued arbitration + spec
+    TenantSloSpec sloSpec;       //!< budgets/weights/targets (SLO mode)
+};
+
 CellResult
-runCell(const Cell &cell, const std::vector<TenantSource> &sources,
-        const std::string &gc_policy, const std::string &wear_level)
+runCell(const Cell &cell, const CampaignSetup &setup)
 {
     SsdConfig cfg = SsdConfig::bench();
     cfg.scheme = cell.scheme;
     cfg.initialPec = cell.pec;
-    cfg.gcPolicy = gc_policy;
-    cfg.wearLevel = wear_level;
+    cfg.gcPolicy = setup.gcPolicy;
+    cfg.wearLevel = setup.wearLevel;
+    if (setup.slo) {
+        // Every SLO cell — including policy `none` — runs queued
+        // arbitration, so the policy axis isolates enforcement, not the
+        // arbitration model swap.
+        cfg.arbitration = Arbitration::Queued;
+        cfg.sloPolicy = cell.policy;
+        cfg.slo = setup.sloSpec;
+    }
 
     Ssd ssd(cfg);
-    ssd.metrics().enableTenantTracking(sources.size());
+    ssd.metrics().enableTenantTracking(setup.sources.size());
 
     SyntheticConfig base;
     base.footprintPages = ssd.config().logicalPages();
     base.pageSizeKB = cfg.pageSizeKB;
 
     std::vector<std::unique_ptr<TraceStream>> streams;
-    streams.reserve(sources.size());
-    for (const auto &src : sources)
+    streams.reserve(setup.sources.size());
+    for (const auto &src : setup.sources)
         streams.push_back(openTenantSource(src, base));
     TenantMix mix(std::move(streams));
     ssd.run(mix);
 
     CellResult result;
-    for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (std::size_t i = 0; i < setup.sources.size(); ++i) {
         const TenantLatency &m = ssd.metrics().tenants[i];
         TenantRow row;
         row.tenant = static_cast<TenantId>(i);
-        row.source = sources[i].label;
+        row.source = setup.sources[i].label;
         row.reads = m.reads;
         row.writes = m.writes;
         row.avgReadUs = m.readLatency.mean() / static_cast<double>(kUs);
         row.p99Us = ticksToUs(m.readLatency.percentile(0.99));
         row.p999Us = ticksToUs(m.readLatency.percentile(0.999));
+        if (setup.slo) {
+            row.slo = true;
+            row.throttleDeferrals = m.throttleDeferrals;
+            row.throttleDeferredMs = ticksToMs(m.throttleDeferredTicks);
+            const TenantSlo *t =
+                setup.sloSpec.find(static_cast<TenantId>(i));
+            if (t != nullptr && t->p99TargetUs != 0) {
+                row.p99TargetUs = t->p99TargetUs;
+                row.p99Attained =
+                    m.readP99Us() <= static_cast<double>(t->p99TargetUs);
+            }
+        }
         result.rows.push_back(std::move(row));
     }
     return result;
+}
+
+/**
+ * The built-in noisy-neighbor configuration (`--slo noisy`): a
+ * read-heavy victim (usr) with a p99 target shares the drive with a
+ * write-heavy aggressor (ali.A cranked to ~60x its Table-3 arrival
+ * rate) whose IOPS budget sits far below its offered load. Under
+ * `none` the aggressor's writes and the erases they trigger blow
+ * through the victim's tail; `throttle` holds the aggressor to its
+ * budget and `wfq` gives the victim 8x the channel share.
+ */
+/**
+ * The victim's read-p99 target, placed between the tail `throttle+wfq`
+ * achieves and the tail `none` suffers in the noisy mix, so the golden
+ * artifact pins attainment true for the enforced cell and false for the
+ * unenforced one.
+ */
+constexpr std::uint64_t kNoisyVictimP99TargetUs = 1500;
+
+CampaignSetup
+noisySetup(bool small)
+{
+    CampaignSetup setup;
+    setup.slo = true;
+
+    TenantSource victim;
+    victim.label = "usr:victim";
+    victim.preset = "usr";
+    victim.requests = small ? 4000 : 12000;
+    victim.seed = 7;
+    victim.hasSeed = true;
+
+    TenantSource hog;
+    hog.label = "ali.A:hog";
+    hog.preset = "ali.A";
+    hog.requests = small ? 8000 : 24000;
+    hog.seed = 1007;
+    hog.hasSeed = true;
+    hog.intensity = 60.0;
+
+    setup.sources = {victim, hog};
+    setup.sloSpec = parseTenantSloSpec(
+        "0:weight=8:p99=" + std::to_string(kNoisyVictimP99TargetUs) +
+        ",1:weight=1:iops=2000:burst=32");
+    return setup;
 }
 
 } // namespace
@@ -137,11 +250,12 @@ runCell(const Cell &cell, const std::vector<TenantSource> &sources,
 int
 main(int argc, char **argv)
 {
-    // --tenants / --gc-policy / --wear-level are ours; strip them before
-    // the (strict) artifact parser.
+    // --tenants / --gc-policy / --wear-level / --slo are ours; strip
+    // them before the (strict) artifact parser.
     std::string tenant_spec;
     std::string gc_policy = "greedy";
     std::string wear_level = "none";
+    std::string slo_arg;
     std::vector<char *> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -168,6 +282,13 @@ main(int argc, char **argv)
             (void)makeWearLevelPolicy(wear_level);
             continue;
         }
+        if (std::strcmp(argv[i], "--slo") == 0) {
+            if (i + 1 >= argc)
+                AERO_FATAL("--slo needs 'noisy' or a tenant SLO spec "
+                           "(e.g. '0:weight=8:p99=1500,1:iops=2000')");
+            slo_arg = argv[++i];
+            continue;
+        }
         rest.push_back(argv[i]);
     }
     auto artifacts = bench::parseArtifactArgs(
@@ -176,35 +297,69 @@ main(int argc, char **argv)
     if (artifacts.small && !tenant_spec.empty())
         AERO_FATAL("--small runs the fixed regression-gate mix and "
                    "rejects --tenants");
+    const bool noisy = slo_arg == "noisy";
+    if (noisy && !tenant_spec.empty())
+        AERO_FATAL("--slo noisy is a built-in mix and rejects --tenants");
 
     bench::header("Multi-tenant QoS: per-tenant read tails on a shared "
                   "drive");
 
-    // The gate mix is hermetic: fixed requests and per-tenant seeds.
-    if (tenant_spec.empty()) {
-        tenant_spec = artifacts.small
-                          ? "prxy:6000:7,hm:6000:1007,usr:6000:2007"
-                          : "prxy:20000:7,hm:20000:1007,usr:20000:2007";
+    CampaignSetup setup;
+    setup.gcPolicy = gc_policy;
+    setup.wearLevel = wear_level;
+    if (noisy) {
+        setup = noisySetup(artifacts.small);
+        setup.gcPolicy = gc_policy;
+        setup.wearLevel = wear_level;
+        tenant_spec = "noisy";
+    } else {
+        // The gate mix is hermetic: fixed requests and per-tenant seeds.
+        if (tenant_spec.empty()) {
+            tenant_spec = artifacts.small
+                              ? "prxy:6000:7,hm:6000:1007,usr:6000:2007"
+                              : "prxy:20000:7,hm:20000:1007,usr:20000:2007";
+        }
+        setup.sources = parseTenantMixSpec(tenant_spec);
+        if (!slo_arg.empty()) {
+            setup.slo = true;
+            setup.sloSpec = parseTenantSloSpec(slo_arg);
+        }
     }
-    const auto sources = parseTenantMixSpec(tenant_spec);
 
+    // SLO mode swaps the scheme breadth for the policy axis: the study
+    // isolates enforcement, so two schemes x one PEC is plenty.
     const std::vector<SchemeKind> schemes =
-        artifacts.small
+        setup.slo ? (artifacts.small
+                         ? std::vector<SchemeKind>{SchemeKind::Aero}
+                         : std::vector<SchemeKind>{SchemeKind::Baseline,
+                                                   SchemeKind::Aero})
+        : artifacts.small
             ? std::vector<SchemeKind>{SchemeKind::Baseline,
                                       SchemeKind::Aero}
             : allSchemes();
     const std::vector<double> pecs =
-        artifacts.small ? std::vector<double>{2500.0} : paperPecPoints();
+        (setup.slo || artifacts.small) ? std::vector<double>{2500.0}
+                                       : paperPecPoints();
+    const std::vector<SloPolicy> policies =
+        setup.slo ? std::vector<SloPolicy>{SloPolicy::None,
+                                           SloPolicy::Throttle,
+                                           SloPolicy::Wfq,
+                                           SloPolicy::ThrottleWfq}
+                  : std::vector<SloPolicy>{SloPolicy::None};
 
     std::vector<Cell> cells;
     for (const double pec : pecs)
         for (const SchemeKind scheme : schemes)
-            cells.push_back({scheme, pec});
+            for (const SloPolicy policy : policies)
+                cells.push_back({scheme, pec, policy});
 
-    std::printf("tenants: %s\n%zu cells (schemes x PEC) on %d threads "
+    std::printf("tenants: %s\n%zu cells on %d threads "
                 "(env AERO_SWEEP_THREADS)\n",
                 tenant_spec.c_str(), cells.size(),
                 SweepRunner().threads());
+    if (setup.slo)
+        std::printf("SLO spec: %s\n",
+                    renderTenantSloSpec(setup.sloSpec).c_str());
 
     Json journal_cfg = Json::object();
     journal_cfg["tenants"] = tenant_spec;
@@ -220,6 +375,15 @@ main(int argc, char **argv)
         journal_cfg["gc_policy"] = gc_policy;
     if (wear_level != "none")
         journal_cfg["wear_level"] = wear_level;
+    // Same for the SLO study: the campaign fingerprint gains the spec
+    // and policy axis only in SLO mode.
+    if (setup.slo) {
+        journal_cfg["slo_spec"] = renderTenantSloSpec(setup.sloSpec);
+        Json policy_names = Json::array();
+        for (const SloPolicy p : policies)
+            policy_names.push(sloPolicyName(p));
+        journal_cfg["slo_policies"] = std::move(policy_names);
+    }
     // Fork before opening the journal: worker children journal their
     // share of the cells and exit; the parent reopens the merged
     // directory with every cell cached and assembles the artifacts.
@@ -233,46 +397,67 @@ main(int argc, char **argv)
         [&](std::size_t, const Cell &c) {
             Json key = scope.key("scheme", schemeKindName(c.scheme));
             key["pec"] = c.pec;
+            if (setup.slo)
+                key["slo"] = sloPolicyName(c.policy);
             return key;
         },
-        [&](const Cell &c) { return runCell(c, sources, gc_policy, wear_level); },
+        [&](const Cell &c) { return runCell(c, setup); },
         [](const CellResult &r) { return toJson(r); }, cellFromJson);
     if (artifacts.isWorker())
         artifacts.exitWorker();
 
     for (std::size_t pi = 0; pi < pecs.size(); ++pi) {
-        std::printf("\nPEC = %.1fK   (per-tenant read latency, us)\n",
-                    pecs[pi] / 1000.0);
-        bench::rule();
-        std::printf("%-3s %-16s", "t", "source");
-        for (const SchemeKind k : schemes)
-            std::printf(" | %9s p99/p999", schemeKindName(k));
-        std::printf("\n");
-        bench::rule();
-        for (std::size_t t = 0; t < sources.size(); ++t) {
-            std::printf("%-3zu %-16s", t, sources[t].label.c_str());
-            for (std::size_t si = 0; si < schemes.size(); ++si) {
-                const auto &row =
-                    results[pi * schemes.size() + si].rows[t];
-                std::printf(" | %9.1f / %8.1f", row.p99Us, row.p999Us);
-            }
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            std::printf("\nPEC = %.1fK, scheme %s   (per-tenant read "
+                        "latency, us)\n",
+                        pecs[pi] / 1000.0, schemeKindName(schemes[si]));
+            bench::rule();
+            std::printf("%-3s %-16s", "t", "source");
+            for (const SloPolicy p : policies)
+                std::printf(" | %12s p99/p999", sloPolicyName(p));
             std::printf("\n");
+            bench::rule();
+            for (std::size_t t = 0; t < setup.sources.size(); ++t) {
+                std::printf("%-3zu %-16s", t,
+                            setup.sources[t].label.c_str());
+                for (std::size_t li = 0; li < policies.size(); ++li) {
+                    const std::size_t ci =
+                        (pi * schemes.size() + si) * policies.size() + li;
+                    const auto &row = results[ci].rows[t];
+                    std::printf(" | %12.1f / %8.1f", row.p99Us,
+                                row.p999Us);
+                }
+                std::printf("\n");
+            }
         }
     }
     bench::rule();
-    bench::note("every cell replays the identical merged stream; only "
-                "the erase scheme and conditioning differ");
+    bench::note(setup.slo
+                    ? "every cell replays the identical merged stream "
+                      "under queued arbitration; only the enforcement "
+                      "policy (and scheme/conditioning) differs"
+                    : "every cell replays the identical merged stream; "
+                      "only the erase scheme and conditioning differ");
 
-    bench::DevcharReport report("tenant_qos", {"scheme", "pec", "tenant"});
+    const std::vector<std::string> axes =
+        setup.slo
+            ? std::vector<std::string>{"slo_policy", "scheme", "pec",
+                                       "tenant"}
+            : std::vector<std::string>{"scheme", "pec", "tenant"};
+    bench::DevcharReport report("tenant_qos", axes);
     report.spec["tenants"] = tenant_spec;
     report.spec["small"] = artifacts.small;
     if (gc_policy != "greedy")
         report.spec["gc_policy"] = gc_policy;
     if (wear_level != "none")
         report.spec["wear_level"] = wear_level;
+    if (setup.slo)
+        report.spec["slo_spec"] = renderTenantSloSpec(setup.sloSpec);
     for (std::size_t ci = 0; ci < cells.size(); ++ci) {
         for (const auto &t : results[ci].rows) {
             Json row = Json::object();
+            if (setup.slo)
+                row["slo_policy"] = sloPolicyName(cells[ci].policy);
             row["scheme"] = schemeKindName(cells[ci].scheme);
             row["pec"] = cells[ci].pec;
             row["tenant"] = static_cast<std::uint64_t>(t.tenant);
@@ -282,6 +467,14 @@ main(int argc, char **argv)
             row["avg_read_us"] = t.avgReadUs;
             row["p99_us"] = t.p99Us;
             row["p999_us"] = t.p999Us;
+            if (t.slo) {
+                row["throttle_deferrals"] = t.throttleDeferrals;
+                row["throttle_deferred_ms"] = t.throttleDeferredMs;
+                if (t.p99TargetUs != 0) {
+                    row["p99_target_us"] = t.p99TargetUs;
+                    row["p99_attained"] = t.p99Attained;
+                }
+            }
             report.addRow(std::move(row));
         }
     }

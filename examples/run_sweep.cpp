@@ -128,6 +128,8 @@ usage(const char *prog)
         "durability)\n"
         "  --compact path        compact a journal (file or directory) "
         "and exit\n"
+        "  --status path         print who holds claims and per-worker "
+        "progress for a journal, then exit\n"
         "  --progress            per-point progress on stderr\n",
         prog);
 }
@@ -145,6 +147,7 @@ main(int argc, char **argv)
     int workers = 0;
     int shard_index = 0, shard_count = 1;
     std::string json_path, csv_path, checkpoint_path, compact_path;
+    std::string status_path;
     std::string campaign = "run_sweep";
 
     for (int i = 1; i < argc; ++i) {
@@ -223,6 +226,8 @@ main(int argc, char **argv)
             campaign = value;
         } else if (arg == "--compact") {
             compact_path = value;
+        } else if (arg == "--status") {
+            status_path = value;
         } else if (arg == "--workers") {
             workers = parseInt(arg, value);
             if (workers < 1 || workers > 256)
@@ -245,6 +250,11 @@ main(int argc, char **argv)
         }
     }
 
+    if (!status_path.empty()) {
+        const CampaignStatus status = campaignStatus(status_path);
+        std::fputs(formatCampaignStatus(status).c_str(), stdout);
+        return 0;
+    }
     if (!compact_path.empty()) {
         const CompactStats stats = compactCampaignJournal(compact_path);
         std::printf("compacted %s: %zu file(s), %zu record(s) in, "

@@ -51,6 +51,9 @@ msToTicks(double ms)
     return static_cast<Tick>(ms * static_cast<double>(kMs) + 0.5);
 }
 
+/** QoS accounting / scheduling bucket a request belongs to. */
+using TenantId = std::uint16_t;
+
 /** Logical / physical page numbers and block ids. */
 using Lpn = std::uint64_t;
 using Ppn = std::uint64_t;

@@ -85,6 +85,12 @@ foldChipRecordsByPec(std::vector<std::vector<std::vector<Record>>> &per_chip,
     std::vector<std::vector<Record>> by_pec(num_pecs);
     for (std::size_t pi = 0; pi < num_pecs; ++pi) {
         for (auto &chip_records : per_chip) {
+            // A chip claimed by a sibling campaign worker comes back
+            // default-constructed (see parallelMapJournaled); only the
+            // driver, which resumes with every record cached, folds the
+            // full population.
+            if (chip_records.empty())
+                continue;
             by_pec[pi].insert(
                 by_pec[pi].end(),
                 std::make_move_iterator(chip_records[pi].begin()),

@@ -55,6 +55,12 @@ runFig4Experiment(const FarmConfig &farm_cfg,
                 curve.fracSingleLoop += 1.0;
         }
         const auto n = static_cast<double>(curve.mtBersMs.size());
+        // A forked campaign worker folds only its claimed chips and may
+        // see an empty curve; its aggregate is discarded (the worker
+        // exits right after the journaled map), so skip instead of
+        // tripping the driver's completeness check.
+        if (n == 0 && scope.partialShare())
+            continue;
         AERO_CHECK(n > 0, "fig4: empty curve");
         curve.fracWithin2_5Ms /= n;
         curve.fracSingleLoop /= n;

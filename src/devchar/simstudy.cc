@@ -61,6 +61,9 @@ runSimPoint(const SimPoint &point, const SsdConfig &base)
     cfg.schemeOptions.rberRequirement = point.rberRequirement;
     cfg.gcPolicy = point.gcPolicy;
     cfg.wearLevel = point.wearLevel;
+    // The per-tenant SLO spec itself rides on the base config; the axis
+    // only selects which enforcement mechanisms are active.
+    cfg.sloPolicy = sloPolicyFromName(point.sloPolicy);
     cfg.seed = point.seed ^ 0x51ULL;
 
     Ssd ssd(cfg);

@@ -29,6 +29,7 @@ struct SimPoint
     int rberRequirement = 63;
     std::string gcPolicy = "greedy";
     std::string wearLevel = "none";
+    std::string sloPolicy = "none";  //!< tenant SLO enforcement
     std::uint64_t requests = 120000;
     std::uint64_t seed = 7;
 };

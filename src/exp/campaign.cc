@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
 #ifndef _WIN32
 #include <csignal>
@@ -924,6 +925,215 @@ compactCampaignJournal(const std::string &path)
         fs::remove(fs::path(path) / kClaimsFile, ec);
     }
     return stats;
+}
+
+CampaignStatus
+campaignStatus(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    CampaignStatus status;
+    status.path = path;
+    std::error_code ec;
+    const bool dirMode = fs::is_directory(path, ec);
+    std::vector<std::string> files;
+    if (dirMode) {
+        files = listJournalFiles(path);
+        if (files.empty()) {
+            AERO_FATAL("journal directory '", path,
+                       "' contains no journal.*.jsonl files");
+        }
+    } else {
+        if (!fs::exists(path, ec))
+            AERO_FATAL("no campaign journal at '", path, "'");
+        files.push_back(path);
+    }
+    status.schema = dirMode ? kSchemaDir : kSchema;
+
+    std::unordered_set<std::string> keys;
+    for (const auto &file : files) {
+        CampaignWorkerStatus ws;
+        ws.file = fs::path(file).filename().string();
+        const std::string text = readFileOrEmpty(file);
+        bool sawHeader = false;
+        std::size_t lineNo = 0;
+        std::size_t start = 0;
+        while (start < text.size()) {
+            std::size_t end = text.find('\n', start);
+            const bool terminated = end != std::string::npos;
+            if (!terminated)
+                end = text.size();
+            const std::string line = text.substr(start, end - start);
+            const std::size_t next = terminated ? end + 1 : end;
+            const bool isLast = next >= text.size();
+            lineNo += 1;
+
+            Json row;
+            Json::ParseError err;
+            if (line.empty() || !Json::parse(line, &row, &err) ||
+                !terminated) {
+                // A torn final line is a crash (or a write in flight
+                // on a live campaign): that record never took effect.
+                if (isLast)
+                    break;
+                AERO_FATAL("journal '", file, "' is corrupt: line ",
+                           lineNo, ": ",
+                           line.empty() ? "empty record"
+                                        : err.toString());
+            }
+            if (!sawHeader) {
+                const Json *storedSchema = row.find("schema");
+                const Json *storedName = row.find("campaign");
+                const Json *storedFp = row.find("fingerprint");
+                if (!storedSchema || !storedSchema->isString() ||
+                    storedSchema->asString() != status.schema ||
+                    !storedName || !storedName->isString() ||
+                    !storedFp || !storedFp->isString()) {
+                    AERO_FATAL("'", file, "' is not an ", status.schema,
+                               " journal (line ", lineNo, ")");
+                }
+                if (status.fingerprint.empty()) {
+                    status.campaign = storedName->asString();
+                    status.fingerprint = storedFp->asString();
+                } else if (storedFp->asString() != status.fingerprint) {
+                    AERO_FATAL("journal '", file,
+                               "' belongs to a different campaign "
+                               "configuration (fingerprint ",
+                               storedFp->asString(), ", expected ",
+                               status.fingerprint, ")");
+                }
+                if (const Json *worker = row.find("worker");
+                    worker && worker->isString())
+                    ws.worker = worker->asString();
+                sawHeader = true;
+            } else {
+                const Json *key = row.find("key");
+                if (!key) {
+                    AERO_FATAL("journal '", file,
+                               "' has a malformed record on line ",
+                               lineNo);
+                }
+                ws.records += 1;
+                keys.insert(key->dump());
+            }
+            start = next;
+        }
+        if (sawHeader)
+            status.workers.push_back(std::move(ws));
+    }
+    if (status.fingerprint.empty())
+        AERO_FATAL("journal '", path, "' has no header");
+    for (const auto &ws : status.workers)
+        status.records += ws.records;
+    status.distinctKeys = keys.size();
+
+    if (!dirMode)
+        return status;
+    const std::string claimsText = readFileOrEmpty(
+        (fs::path(path) / kClaimsFile).string());
+    // Last claim wins per key (a stale claim of a dead pid is re-taken
+    // by appending), but report in first-claim order for stability.
+    std::unordered_map<std::string, std::size_t> claimIndex;
+    bool sawHeader = false;
+    std::size_t lineNo = 0;
+    std::size_t start = 0;
+    while (start < claimsText.size()) {
+        std::size_t end = claimsText.find('\n', start);
+        const bool terminated = end != std::string::npos;
+        if (!terminated)
+            end = claimsText.size();
+        const std::string line = claimsText.substr(start, end - start);
+        const std::size_t next = terminated ? end + 1 : end;
+        const bool isLast = next >= claimsText.size();
+        lineNo += 1;
+
+        Json row;
+        Json::ParseError err;
+        if (line.empty() || !Json::parse(line, &row, &err) ||
+            !terminated) {
+            if (isLast)
+                break;  // torn final claim: never took effect
+            AERO_FATAL("claims file in '", path, "' is corrupt: line ",
+                       lineNo, ": ",
+                       line.empty() ? "empty record" : err.toString());
+        }
+        if (!sawHeader) {
+            const Json *storedSchema = row.find("schema");
+            const Json *storedFp = row.find("fingerprint");
+            if (!storedSchema || !storedSchema->isString() ||
+                storedSchema->asString() != kSchemaClaims || !storedFp ||
+                !storedFp->isString()) {
+                AERO_FATAL("claims file in '", path, "' is not an ",
+                           kSchemaClaims, " claims file (line ", lineNo,
+                           ")");
+            }
+            if (storedFp->asString() != status.fingerprint) {
+                AERO_FATAL("claims file in '", path,
+                           "' belongs to a different campaign "
+                           "configuration (fingerprint ",
+                           storedFp->asString(), ", expected ",
+                           status.fingerprint, ")");
+            }
+            sawHeader = true;
+        } else {
+            const Json *key = row.find("key");
+            const Json *worker = row.find("worker");
+            const Json *pid = row.find("pid");
+            if (!key || !worker || !worker->isString() || !pid ||
+                !pid->isNumeric()) {
+                AERO_FATAL("claims file in '", path,
+                           "' has a malformed claim on line ", lineNo);
+            }
+            CampaignClaimStatus claim;
+            claim.key = *key;
+            claim.worker = worker->asString();
+            claim.pid = static_cast<long long>(pid->asInt64());
+            claim.live = pidAlive(claim.pid);
+            claim.completed = keys.count(key->dump()) > 0;
+            const std::string canonical = key->dump();
+            const auto it = claimIndex.find(canonical);
+            if (it != claimIndex.end()) {
+                status.claims[it->second] = std::move(claim);
+            } else {
+                claimIndex.emplace(canonical, status.claims.size());
+                status.claims.push_back(std::move(claim));
+            }
+        }
+        start = next;
+    }
+    return status;
+}
+
+std::string
+formatCampaignStatus(const CampaignStatus &status)
+{
+    std::string out = detail::concat(
+        "campaign '", status.campaign, "' (", status.schema, ") at ",
+        status.path, "\n  fingerprint ", status.fingerprint, "\n  ",
+        status.distinctKeys, " distinct task(s) journaled (",
+        status.records, " record(s) across ", status.workers.size(),
+        " file(s))\n");
+    for (const auto &ws : status.workers) {
+        out += detail::concat(
+            "    ", ws.file,
+            ws.worker.empty() ? std::string()
+                              : detail::concat(" (worker ", ws.worker,
+                                               ")"),
+            ": ", ws.records, " record(s)\n");
+    }
+    if (status.claims.empty())
+        return out;
+    std::size_t pending = 0;
+    for (const auto &claim : status.claims)
+        pending += claim.completed ? 0 : 1;
+    out += detail::concat("  ", status.claims.size(), " claim(s), ",
+                          pending, " pending\n");
+    for (const auto &claim : status.claims) {
+        out += detail::concat(
+            "    ", claim.key.dump(), " -> worker ", claim.worker,
+            " (pid ", claim.pid, ", ", claim.live ? "live" : "dead",
+            "), ", claim.completed ? "completed" : "pending", "\n");
+    }
+    return out;
 }
 
 int

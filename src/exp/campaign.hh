@@ -229,6 +229,53 @@ struct CompactStats
     std::size_t recordsOut = 0;  //!< deduplicated records written
 };
 
+/** One journal file's contribution in a CampaignStatus. */
+struct CampaignWorkerStatus
+{
+    std::string file;    //!< file name (journal.w0.jsonl, ...)
+    std::string worker;  //!< worker id from the header ("" single-file)
+    std::size_t records = 0;  //!< journaled records, duplicates included
+};
+
+/** One claimed task's state in a CampaignStatus. */
+struct CampaignClaimStatus
+{
+    Json key;            //!< the claimed task key
+    std::string worker;  //!< claiming worker id (last claim wins)
+    long long pid = 0;   //!< claiming pid
+    bool live = false;   //!< the claiming pid still runs
+    bool completed = false;  //!< a journal record exists for the key
+};
+
+/**
+ * A read-only snapshot of a campaign journal: who holds claims and how
+ * far each worker got. Safe to take while workers run (live claims are
+ * reported as such); torn final lines — a crash or a write in flight —
+ * are skipped, not errors.
+ */
+struct CampaignStatus
+{
+    std::string path;
+    std::string schema;       //!< aero-campaign/1 or aero-campaign/2
+    std::string campaign;
+    std::string fingerprint;
+    std::size_t records = 0;      //!< total records, duplicates included
+    std::size_t distinctKeys = 0; //!< deduplicated journaled tasks
+    std::vector<CampaignWorkerStatus> workers;  //!< file-name order
+    std::vector<CampaignClaimStatus> claims;    //!< directory mode only
+};
+
+/**
+ * Inspect the journal at @p path (single file or directory) without
+ * modifying it. Fatal when @p path holds no journal, a file is not a
+ * campaign journal, or the files disagree on the campaign fingerprint;
+ * lenient about torn tails and claims from reaped workers.
+ */
+CampaignStatus campaignStatus(const std::string &path);
+
+/** Render @p status as the human summary `run_sweep --status` prints. */
+std::string formatCampaignStatus(const CampaignStatus &status);
+
 /**
  * Rewrite the journal at @p path down to one deduplicated file with a
  * fresh header, adopting the campaign/config the journal's own header
@@ -274,6 +321,19 @@ struct CampaignScope
     }
 
     explicit operator bool() const { return journal != nullptr; }
+
+    /**
+     * Is this a forked campaign worker's scope (claims armed)? Such a
+     * worker folds only its claimed share of the campaign, so
+     * aggregation invariants that assume full coverage must be relaxed
+     * — the driver re-runs them on the merged journal with every
+     * record cached.
+     */
+    bool
+    partialShare() const
+    {
+        return journal != nullptr && journal->claimsEnabled();
+    }
 
     /** This scope narrowed by one more key axis. */
     CampaignScope

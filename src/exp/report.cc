@@ -27,6 +27,9 @@ toJson(const SimResult &result)
         row["gc_policy"] = pt.gcPolicy;
     if (pt.wearLevel != "none")
         row["wear_level"] = pt.wearLevel;
+    // Same contract for the SLO axis (PR 10).
+    if (pt.sloPolicy != "none")
+        row["slo_policy"] = pt.sloPolicy;
     row["requests"] = pt.requests;
     row["seed"] = pt.seed;
     row["avg_read_us"] = result.avgReadUs;
@@ -64,6 +67,8 @@ simResultFromJson(const Json &row)
         r.point.gcPolicy = gc->asString();
     if (const Json *wl = row.find("wear_level"))
         r.point.wearLevel = wl->asString();
+    if (const Json *slo = row.find("slo_policy"))
+        r.point.sloPolicy = slo->asString();
     r.point.requests = need("requests").asUint64();
     r.point.seed = need("seed").asUint64();
     r.avgReadUs = need("avg_read_us").asDouble();
@@ -122,6 +127,13 @@ toJson(const SweepSpec &spec)
             wls.push(w);
         out["wear_levels"] = std::move(wls);
     }
+    if (spec.sloPolicies != std::vector<std::string>{"none"}) {
+        Json slos = Json::array();
+        for (const auto &p : spec.sloPolicies)
+            slos.push(p);
+        out["slo_policies"] = std::move(slos);
+        out["slo_spec"] = renderTenantSloSpec(spec.base.slo);
+    }
     Json seeds = Json::array();
     for (const auto s : spec.seeds)
         seeds.push(s);
@@ -155,15 +167,17 @@ toCsv(const std::vector<SimResult> &results)
     // The reclamation columns appear only when some row swept them off
     // their defaults, mirroring the conditional JSON emission.
     bool reclamation = false;
+    bool slo = false;
     for (const auto &r : results) {
-        if (r.point.gcPolicy != "greedy" || r.point.wearLevel != "none") {
+        if (r.point.gcPolicy != "greedy" || r.point.wearLevel != "none")
             reclamation = true;
-            break;
-        }
+        if (r.point.sloPolicy != "none")
+            slo = true;
     }
     os << "workload,scheme,pec,suspension,misprediction_rate,"
           "rber_requirement,"
        << (reclamation ? "gc_policy,wear_level," : "")
+       << (slo ? "slo_policy," : "")
        << "requests,seed,avg_read_us,avg_write_us,iops,"
           "p999_us,p9999_us,p999999_us,erases,avg_erase_ms,suspensions,"
           "write_amplification\n";
@@ -174,6 +188,8 @@ toCsv(const std::vector<SimResult> &results)
            << pt.mispredictionRate << ',' << pt.rberRequirement << ',';
         if (reclamation)
             os << pt.gcPolicy << ',' << pt.wearLevel << ',';
+        if (slo)
+            os << pt.sloPolicy << ',';
         os << pt.requests << ',' << pt.seed << ',' << r.avgReadUs << ','
            << r.avgWriteUs << ',' << r.iops << ',' << r.p999Us << ','
            << r.p9999Us << ',' << r.p999999Us << ',' << r.erases << ','

@@ -54,7 +54,7 @@ SweepSpec::size() const
     return pecs.size() * suspensions.size() * workloads.size() *
            schemes.size() * mispredictionRates.size() *
            rberRequirements.size() * gcPolicies.size() *
-           wearLevels.size() * seeds.size();
+           wearLevels.size() * sloPolicies.size() * seeds.size();
 }
 
 std::vector<SimPoint>
@@ -70,6 +70,7 @@ SweepSpec::expand() const
                         for (const int rber : rberRequirements) {
                             for (const auto &gc : gcPolicies) {
                                 for (const auto &wear : wearLevels) {
+                                  for (const auto &slo : sloPolicies) {
                                     for (const auto seed : seeds) {
                                         SimPoint pt;
                                         pt.workload = wl;
@@ -80,10 +81,12 @@ SweepSpec::expand() const
                                         pt.rberRequirement = rber;
                                         pt.gcPolicy = gc;
                                         pt.wearLevel = wear;
+                                        pt.sloPolicy = slo;
                                         pt.requests = requests;
                                         pt.seed = seed;
                                         points.push_back(pt);
                                     }
+                                  }
                                 }
                             }
                         }
@@ -98,14 +101,15 @@ SweepSpec::expand() const
 std::size_t
 SweepSpec::index(std::size_t pec, std::size_t susp, std::size_t wl,
                  std::size_t scheme, std::size_t mis, std::size_t rber,
-                 std::size_t seed, std::size_t gc, std::size_t wear) const
+                 std::size_t seed, std::size_t gc, std::size_t wear,
+                 std::size_t slo) const
 {
     AERO_CHECK(pec < pecs.size() && susp < suspensions.size() &&
                    wl < workloads.size() && scheme < schemes.size() &&
                    mis < mispredictionRates.size() &&
                    rber < rberRequirements.size() &&
                    gc < gcPolicies.size() && wear < wearLevels.size() &&
-                   seed < seeds.size(),
+                   slo < sloPolicies.size() && seed < seeds.size(),
                "sweep axis index out of range");
     std::size_t idx = pec;
     idx = idx * suspensions.size() + susp;
@@ -115,6 +119,7 @@ SweepSpec::index(std::size_t pec, std::size_t susp, std::size_t wl,
     idx = idx * rberRequirements.size() + rber;
     idx = idx * gcPolicies.size() + gc;
     idx = idx * wearLevels.size() + wear;
+    idx = idx * sloPolicies.size() + slo;
     idx = idx * seeds.size() + seed;
     return idx;
 }
@@ -264,6 +269,20 @@ SweepBuilder::wearLevels(const std::vector<std::string> &names)
 }
 
 SweepBuilder &
+SweepBuilder::sloPolicy(const std::string &name)
+{
+    spec.sloPolicies = {name};
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::sloPolicies(const std::vector<std::string> &names)
+{
+    spec.sloPolicies = names;
+    return *this;
+}
+
+SweepBuilder &
 SweepBuilder::seed(std::uint64_t seed)
 {
     spec.seeds = {seed};
@@ -320,6 +339,8 @@ SweepBuilder::build() const
         AERO_FATAL("sweep has no GC policies");
     if (spec.wearLevels.empty())
         AERO_FATAL("sweep has no wear-leveling policies");
+    if (spec.sloPolicies.empty())
+        AERO_FATAL("sweep has no SLO policies");
     if (spec.seeds.empty())
         AERO_FATAL("sweep has no seeds");
     if (spec.requests == 0)
@@ -332,6 +353,8 @@ SweepBuilder::build() const
         (void)makeGcPolicy(name);
     for (const auto &name : spec.wearLevels)
         (void)makeWearLevelPolicy(name);
+    for (const auto &name : spec.sloPolicies)
+        (void)sloPolicyFromName(name);
     return spec;
 }
 

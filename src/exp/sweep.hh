@@ -9,7 +9,7 @@
  * innermost):
  *
  *   PEC > suspension > workload > scheme > misprediction > RBER
- *       > GC policy > wear leveling > seed
+ *       > GC policy > wear leveling > SLO policy > seed
  *
  * SweepRunner executes the points across a std::thread pool (each point
  * builds its own Ssd, so points are fully independent) and returns results
@@ -44,6 +44,7 @@ struct SweepSpec
     std::vector<int> rberRequirements = {63};
     std::vector<std::string> gcPolicies = {"greedy"};
     std::vector<std::string> wearLevels = {"none"};
+    std::vector<std::string> sloPolicies = {"none"};
     std::vector<std::uint64_t> seeds = {7};
     /** @} */
 
@@ -67,7 +68,7 @@ struct SweepSpec
     std::size_t index(std::size_t pec, std::size_t susp, std::size_t wl,
                       std::size_t scheme, std::size_t mis, std::size_t rber,
                       std::size_t seed, std::size_t gc = 0,
-                      std::size_t wear = 0) const;
+                      std::size_t wear = 0, std::size_t slo = 0) const;
 };
 
 /**
@@ -118,6 +119,10 @@ class SweepBuilder
     /** Wear-leveling policy names (ssd/wear_level.hh registry). */
     SweepBuilder &wearLevel(const std::string &name);
     SweepBuilder &wearLevels(const std::vector<std::string> &names);
+
+    /** SLO enforcement policy names (ssd/config.hh SloPolicy). */
+    SweepBuilder &sloPolicy(const std::string &name);
+    SweepBuilder &sloPolicies(const std::vector<std::string> &names);
 
     SweepBuilder &seed(std::uint64_t seed);
     SweepBuilder &seeds(const std::vector<std::uint64_t> &seeds);

@@ -44,6 +44,7 @@ struct PageOp
     std::uint64_t requestId = kNoRequest;
     GcJob *job = nullptr;
     Tick tprog = 0;   //!< program latency (scheme-dependent, writes only)
+    TenantId tenant = 0;  //!< WFQ channel arbitration key (host ops)
 };
 
 /** The closed set of event kinds the kernel can dispatch. */
@@ -59,6 +60,7 @@ enum class EventKind : std::uint8_t
     TraceAdmit,        //!< trace pump: admit the next due request burst
     DieOpComplete,     //!< queued arbitration: on-die phase (sense) ended
     ChannelGrant,      //!< queued arbitration: channel bus released
+    TraceAdmitThrottled, //!< trace pump: a tenant's token bucket refilled
 };
 
 /**
@@ -112,6 +114,12 @@ struct Event
         TracePump *pump;
     };
 
+    struct PumpTenantPayload
+    {
+        TracePump *pump;
+        std::uint64_t tenant;  //!< TenantId widened to keep the union POD
+    };
+
     struct ChannelPayload
     {
         Channel *channel;
@@ -127,6 +135,7 @@ struct Event
                                     //!< / SuspendQuiesced / DieOpComplete
         HostPagePayload hostPage;   //!< HostPageDone
         PumpPayload pump;           //!< TraceAdmit
+        PumpTenantPayload pumpTenant; //!< TraceAdmitThrottled
         ChannelPayload channel;     //!< ChannelGrant
     };
 

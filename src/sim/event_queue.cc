@@ -196,6 +196,15 @@ EventQueue::scheduleTraceAdmitAt(Tick when, TracePump &pump)
 }
 
 EventId
+EventQueue::scheduleTraceAdmitThrottledAt(Tick when, TracePump &pump,
+                                          TenantId tenant)
+{
+    Event *ev = post(when, EventKind::TraceAdmitThrottled);
+    ev->payload.pumpTenant = Event::PumpTenantPayload{&pump, tenant};
+    return EventId{ev->slot, ev->gen};
+}
+
+EventId
 EventQueue::scheduleDieOpAt(Tick when, ChipAgent &agent)
 {
     Event *ev = post(when, EventKind::DieOpComplete);
@@ -267,6 +276,10 @@ EventQueue::dispatch(EventKind kind, const Event::Payload &payload)
         break;
       case EventKind::TraceAdmit:
         payload.pump.pump->fire();
+        break;
+      case EventKind::TraceAdmitThrottled:
+        payload.pumpTenant.pump->fireThrottled(
+            static_cast<TenantId>(payload.pumpTenant.tenant));
         break;
       case EventKind::DieOpComplete:
         payload.agent.agent->onDieOpComplete();

@@ -78,6 +78,8 @@ class EventQueue
     EventId scheduleHostPageAt(Tick when, Ftl &ftl,
                                std::uint64_t request_id);
     EventId scheduleTraceAdmitAt(Tick when, TracePump &pump);
+    EventId scheduleTraceAdmitThrottledAt(Tick when, TracePump &pump,
+                                          TenantId tenant);
     EventId scheduleDieOpAt(Tick when, ChipAgent &agent);
     EventId scheduleChannelGrantAt(Tick when, Channel &channel);
     /** @} */

@@ -14,6 +14,18 @@
  * priority — host reads > host writes > GC copies > erase commands — and
  * FIFO within a class, so host and reclamation traffic genuinely contend
  * and the wait each class suffers is measured into SsdMetrics.
+ *
+ * With WFQ enabled (SloPolicy::Wfq / ThrottleWfq), the two *host*
+ * classes swap their FIFO for start-time fair queuing: each request is
+ * tagged at enqueue with its tenant's virtual start time (the later of
+ * the channel's virtual clock and the tenant's last finish tag; finish
+ * advances by quantum/weight), and the grant picks the waiter with the
+ * lowest tag, ties broken by arrival. Class priority is untouched — a
+ * queued host read still beats any host write — so WFQ divides the
+ * *host* share of the bus by weight while GC copies and erase commands
+ * stay strict FIFO below. A single-tenant run produces tags that are
+ * monotone in arrival order, making WFQ grant-for-grant identical to
+ * the FIFO it replaces.
  */
 
 #ifndef AERO_SSD_CHANNEL_HH
@@ -41,6 +53,10 @@ enum class BusClass : std::uint8_t
 
 constexpr int kBusClasses = 4;
 
+/** WFQ virtual-time quantum: finish tags advance by kWfqQuantum/weight
+ *  per grant, so a weight-w tenant accrues virtual time 1/w as fast. */
+constexpr std::uint64_t kWfqQuantum = 1ULL << 20;
+
 class Channel
 {
   public:
@@ -55,9 +71,19 @@ class Channel
     /**
      * Queued arbitration: request the bus. Grants immediately when the
      * bus is free, otherwise enqueues; the agent's channelGranted() runs
-     * at grant time and returns the tick it releases the bus.
+     * at grant time and returns the tick it releases the bus. `tenant`
+     * only matters under WFQ and only for the host classes.
      */
-    void request(ChipAgent &agent, BusClass cls);
+    void request(ChipAgent &agent, BusClass cls, TenantId tenant = 0);
+
+    /**
+     * Turn on weighted-fair queuing for the host classes. `weights` is
+     * indexed by tenant; tenants beyond its end weigh 1. Must be set
+     * before the first request().
+     */
+    void enableWfq(std::vector<std::uint32_t> weights);
+
+    bool wfqEnabled() const { return wfq; }
 
     /** Nothing owned, nothing waiting? */
     bool quiet() const;
@@ -69,17 +95,31 @@ class Channel
     {
         ChipAgent *agent = nullptr;
         Tick since = 0;
+        std::uint64_t tag = 0;   //!< WFQ virtual start time
+        std::uint64_t seq = 0;   //!< arrival order; breaks tag ties
+        TenantId tenant = 0;
     };
 
     /** ChannelGrant dispatch target: the bus was released. */
     void onGrantDone();
-    void grantTo(ChipAgent &agent, BusClass cls, Tick since);
+    void grantTo(const Waiter &w, BusClass cls);
+
+    std::uint64_t weightOf(TenantId tenant) const;
 
     std::array<std::deque<Waiter>, kBusClasses> waiters;
     bool owned = false;
     int idx = 0;
     EventQueue *eq = nullptr;
     SsdMetrics *metrics = nullptr;
+
+    /** @name WFQ state (SFQ: Goyal et al.) */
+    /** @{ */
+    bool wfq = false;
+    std::vector<std::uint32_t> weights;    //!< per tenant; default 1
+    std::vector<std::uint64_t> finishTag;  //!< per tenant, lazily grown
+    std::uint64_t vtime = 0;               //!< virtual clock (host classes)
+    std::uint64_t nextWaiterSeq = 0;
+    /** @} */
 };
 
 } // namespace aero

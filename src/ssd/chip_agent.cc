@@ -183,7 +183,7 @@ ChipAgent::startWrite(PageOp op)
         // starts once the transfer lands.
         curOp = op;
         phase = Phase::AwaitBus;
-        channel.request(*this, busClassOf(op));
+        channel.request(*this, busClassOf(op), op.tenant);
         return;
     }
     const Tick xfer_start = std::max(eq.now(), channel.busyUntil);
@@ -204,7 +204,7 @@ ChipAgent::onDieOpComplete()
     pendingOp = EventId{};
     AERO_CHECK(phase == Phase::Sense, "die op completed outside a sense");
     phase = Phase::AwaitBus;
-    channel.request(*this, busClassOf(curOp));
+    channel.request(*this, busClassOf(curOp), curOp.tenant);
 }
 
 Tick

@@ -49,6 +49,33 @@ arbitrationFromName(const std::string &name)
                "' (valid names: legacy, queued)");
 }
 
+const char *
+sloPolicyName(SloPolicy policy)
+{
+    switch (policy) {
+      case SloPolicy::None: return "none";
+      case SloPolicy::Throttle: return "throttle";
+      case SloPolicy::Wfq: return "wfq";
+      case SloPolicy::ThrottleWfq: return "throttle+wfq";
+    }
+    return "unknown";
+}
+
+SloPolicy
+sloPolicyFromName(const std::string &name)
+{
+    if (name == "none")
+        return SloPolicy::None;
+    if (name == "throttle")
+        return SloPolicy::Throttle;
+    if (name == "wfq")
+        return SloPolicy::Wfq;
+    if (name == "throttle+wfq")
+        return SloPolicy::ThrottleWfq;
+    AERO_FATAL("unknown SLO policy: '", name,
+               "' (valid names: none, throttle, wfq, throttle+wfq)");
+}
+
 SsdConfig
 SsdConfig::paper()
 {
@@ -102,6 +129,9 @@ SsdConfig::summary() const
        << "  GC policy:       " << gcPolicy << "\n"
        << "  wear leveling:   " << wearLevel << "\n"
        << "  initial PEC:     " << initialPec << "\n";
+    if (sloPolicy != SloPolicy::None)
+        os << "  SLO policy:      " << sloPolicyName(sloPolicy) << " ("
+           << renderTenantSloSpec(slo) << ")\n";
     return os.str();
 }
 

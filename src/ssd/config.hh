@@ -13,6 +13,7 @@
 
 #include "erase/scheme.hh"
 #include "nand/nand_chip.hh"
+#include "workload/trace_io/tenant.hh"
 
 namespace aero
 {
@@ -55,6 +56,46 @@ const char *arbitrationName(Arbitration mode);
 /** Inverse of arbitrationName(); fatal listing the valid names. */
 Arbitration arbitrationFromName(const std::string &name);
 
+/**
+ * Per-tenant SLO enforcement policy (PR 10). `Throttle` gates trace
+ * admission through per-tenant token buckets (TracePump defers
+ * over-budget requests to the bucket refill tick — never drops, never
+ * reorders within a tenant). `Wfq` arbitrates the queued channel's
+ * host classes by per-tenant start-time-fair virtual tags weighted by
+ * TenantSlo::weight; it composes with — never overrides — the
+ * HostRead > HostWrite > GcCopy > EraseCmd class priorities, and so
+ * requires Arbitration::Queued. None is the default: enforcement off,
+ * every pre-PR-10 golden artifact bit-identical.
+ */
+enum class SloPolicy
+{
+    None,         //!< accounting only (default)
+    Throttle,     //!< token-bucket admission throttling
+    Wfq,          //!< weighted-fair channel scheduling
+    ThrottleWfq,  //!< both
+};
+
+/** Stable name ("none" / "throttle" / "wfq" / "throttle+wfq"). */
+const char *sloPolicyName(SloPolicy policy);
+
+/** Inverse of sloPolicyName(); fatal listing the valid names. */
+SloPolicy sloPolicyFromName(const std::string &name);
+
+/** Does the policy include token-bucket admission throttling? */
+constexpr bool
+sloPolicyThrottles(SloPolicy policy)
+{
+    return policy == SloPolicy::Throttle ||
+           policy == SloPolicy::ThrottleWfq;
+}
+
+/** Does the policy include weighted-fair channel scheduling? */
+constexpr bool
+sloPolicyWeights(SloPolicy policy)
+{
+    return policy == SloPolicy::Wfq || policy == SloPolicy::ThrottleWfq;
+}
+
 struct SsdConfig
 {
     /** @name Topology (Table 2) */
@@ -94,6 +135,11 @@ struct SsdConfig
     std::string wearLevel = "none";   //!< WL policy (ssd/wear_level.hh)
     /** Static WL: erase-count spread that triggers cold migration. */
     int wlEraseDelta = 8;
+    SloPolicy sloPolicy = SloPolicy::None;  //!< tenant SLO enforcement
+    /** Per-tenant budgets/weights/targets; tenants the spec does not
+     *  name run unthrottled with weight 1. Ignored when sloPolicy is
+     *  None or the spec is empty. */
+    TenantSloSpec slo;
     /** @} */
 
     /** @name Conditioning */

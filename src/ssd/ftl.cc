@@ -18,6 +18,12 @@ Ftl::validated(SsdConfig cfg)
         geo.validateQueued();
     else
         geo.validate();
+    if (sloPolicyWeights(cfg.sloPolicy) &&
+        cfg.arbitration != Arbitration::Queued)
+        AERO_FATAL("SLO policy '", sloPolicyName(cfg.sloPolicy),
+                   "' needs queued channel arbitration: weighted-fair "
+                   "sharing arbitrates the per-channel grant queues, "
+                   "which the legacy closed-form model does not have");
     return cfg;
 }
 
@@ -39,6 +45,14 @@ Ftl::Ftl(const SsdConfig &cfg_, EventQueue &eq_)
     stats.channelBusyTicks.assign(cfg.channels, 0);
     for (int c = 0; c < cfg.channels; ++c)
         channels[c].init(c, &eq, &stats);
+    if (sloPolicyWeights(cfg.sloPolicy) && !cfg.slo.empty()) {
+        std::vector<std::uint32_t> weights(
+            static_cast<std::size_t>(cfg.slo.maxTenant()) + 1, 1);
+        for (const TenantSlo &t : cfg.slo.tenants)
+            weights[t.tenant] = t.weight;
+        for (auto &ch : channels)
+            ch.enableWfq(weights);
+    }
     for (int i = 0; i < cfg.totalChips(); ++i) {
         SchemeOptions opts = cfg.schemeOptions;
         opts.seed = seeder.next();
@@ -217,20 +231,21 @@ Ftl::submit(const TraceRecord &rec)
         // would leave them.
         for (std::uint32_t i = 0; i < rec.pages; ++i) {
             const Lpn lpn = (rec.startPage + i) % mapping.logicalPages();
-            submitReadPage(lpn, id, true);
+            submitReadPage(lpn, id, rec.tenant, true);
         }
         flushReadBurst();
         return;
     }
     for (std::uint32_t i = 0; i < rec.pages; ++i) {
         const Lpn lpn = (rec.startPage + i) % mapping.logicalPages();
-        if (!submitWritePage(lpn, id))
-            stalledWrites.push_back(StalledWrite{lpn, id});
+        if (!submitWritePage(lpn, id, rec.tenant))
+            stalledWrites.push_back(StalledWrite{lpn, id, rec.tenant});
     }
 }
 
 void
-Ftl::submitReadPage(Lpn lpn, std::uint64_t request_id, bool burst)
+Ftl::submitReadPage(Lpn lpn, std::uint64_t request_id, TenantId tenant,
+                    bool burst)
 {
     const Ppn ppn = mapping.lookup(lpn);
     if (ppn == kInvalidPpn) {
@@ -247,6 +262,7 @@ Ftl::submitReadPage(Lpn lpn, std::uint64_t request_id, bool burst)
     op.lpn = lpn;
     op.ppn = ppn;
     op.requestId = request_id;
+    op.tenant = tenant;
     if (!burst) {
         agents[parts.chip]->enqueue(op);
         return;
@@ -271,7 +287,7 @@ Ftl::flushReadBurst()
 }
 
 bool
-Ftl::submitWritePage(Lpn lpn, std::uint64_t request_id)
+Ftl::submitWritePage(Lpn lpn, std::uint64_t request_id, TenantId tenant)
 {
     const int tries = cfg.totalChips() * cfg.geometry.planes;
     for (int t = 0; t < tries; ++t) {
@@ -291,6 +307,7 @@ Ftl::submitWritePage(Lpn lpn, std::uint64_t request_id)
         op.lpn = lpn;
         op.ppn = ppn;
         op.requestId = request_id;
+        op.tenant = tenant;
         op.tprog = schemes[chip]->programLatency(blk);
         agents[chip]->enqueue(op);
         maybeStartGc(chip, plane);
@@ -499,7 +516,7 @@ Ftl::retryStalledWrites()
     std::deque<StalledWrite> pending;
     pending.swap(stalledWrites);
     for (auto &w : pending) {
-        if (!submitWritePage(w.lpn, w.requestId))
+        if (!submitWritePage(w.lpn, w.requestId, w.tenant))
             stalledWrites.push_back(w);
     }
 }

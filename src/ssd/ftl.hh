@@ -84,17 +84,18 @@ class Ftl : public FtlCallbacks
     {
         Lpn lpn;
         std::uint64_t requestId;
+        TenantId tenant;
     };
 
     /** Validate the drive geometry before any member sizes off it. */
     static SsdConfig validated(SsdConfig cfg);
 
-    void submitReadPage(Lpn lpn, std::uint64_t request_id,
+    void submitReadPage(Lpn lpn, std::uint64_t request_id, TenantId tenant,
                         bool burst = false);
     /** Dispatch every agent the current read burst touched, in order. */
     void flushReadBurst();
     /** @return false if no plane had space (write stalled). */
-    bool submitWritePage(Lpn lpn, std::uint64_t request_id);
+    bool submitWritePage(Lpn lpn, std::uint64_t request_id, TenantId tenant);
     /** Map lpn -> ppn and mirror both deltas into the line manager. */
     void remap(Lpn lpn, Ppn ppn);
     void functionalGc(int chip, int plane);

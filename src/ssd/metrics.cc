@@ -28,6 +28,11 @@ SsdMetrics::summary() const
            << " us avg, GC " << avgGcChannelWaitUs()
            << " us avg, max util " << maxChannelUtilization() << "\n";
     }
+    if (throttleDeferrals > 0) {
+        os << "SLO throttle: " << throttleDeferrals
+           << " deferrals, " << ticksToMs(throttleDeferredTicks)
+           << " ms total parked\n";
+    }
     return os.str();
 }
 

@@ -29,6 +29,23 @@ struct TenantLatency
     PercentileTracker writeLatency;  //!< ns, completed user writes
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+
+    /** @name SLO enforcement (only move when a policy is active) */
+    /** @{ */
+    std::uint64_t throttleDeferrals = 0;  //!< requests the bucket parked
+    Tick throttleDeferredTicks = 0;       //!< total time parked
+    std::uint64_t channelGrants = 0;      //!< host-class WFQ grants
+    Tick channelHeldTicks = 0;            //!< bus time those grants held
+    /** @} */
+
+    /** Achieved read p99 in µs (0 when no reads completed). */
+    double
+    readP99Us() const
+    {
+        return readLatency.count() == 0
+                   ? 0.0
+                   : ticksToUs(readLatency.percentile(0.99));
+    }
 };
 
 struct SsdMetrics
@@ -75,6 +92,16 @@ struct SsdMetrics
     std::uint64_t gcChannelGrants = 0;
     Tick eraseChannelWaitTicks = 0;
     std::uint64_t eraseChannelGrants = 0;
+    /** @} */
+
+    /**
+     * @name SLO enforcement (ssd/config.hh SloPolicy)
+     * Drive-wide totals of the per-tenant deferral counters; only move
+     * when admission throttling is active.
+     */
+    /** @{ */
+    std::uint64_t throttleDeferrals = 0;
+    Tick throttleDeferredTicks = 0;
     /** @} */
 
     Tick simulatedTime = 0;

@@ -8,7 +8,9 @@
 #ifndef AERO_SSD_SSD_HH
 #define AERO_SSD_SSD_HH
 
+#include <deque>
 #include <memory>
+#include <utility>
 
 #include "ssd/ftl.hh"
 #include "workload/trace_io/stream.hh"
@@ -24,9 +26,43 @@ namespace aero
  * is the stream's (one chunk for FileTraceStream), never the trace's.
  * Lives on Ssd::run()'s stack; run() drains the queue before returning,
  * so pending pump events cannot dangle.
+ *
+ * With SLO throttling enabled (SloPolicy::Throttle / ThrottleWfq plus a
+ * non-empty TenantSloSpec), admission additionally passes through
+ * per-tenant token buckets: a record that would exceed its tenant's
+ * sustained IOPS/bandwidth budget (beyond the configured burst) is
+ * parked in that tenant's FIFO and re-admitted by a
+ * TraceAdmitThrottled event at the bucket's refill tick — deferred,
+ * never dropped, never reordered within the tenant. The buckets are
+ * exact-integer GCRA cells (theoretical-arrival-time with a fractional
+ * remainder over the rate), so refill ticks are deterministic at any
+ * thread count. Tenants without budgets bypass the gate entirely; with
+ * no spec configured the throttle path costs nothing.
  */
 struct TracePump
 {
+    /** One GCRA cell: cost-units/second plus a TAT split into whole
+     *  ticks and a fractional numerator over `rate` (exact integers,
+     *  no drift). rate 0 disables the cell. */
+    struct Bucket
+    {
+        std::uint64_t rate = 0;   //!< cost units admitted per second
+        Tick burstTicks = 0;      //!< conformance tolerance, in ticks
+        Tick tat = 0;             //!< theoretical arrival time, whole
+        std::uint64_t tatFrac = 0; //!< + tatFrac/rate fractional ticks
+    };
+
+    /** Per-tenant admission gate: an IOPS cell (cost 1/request) and a
+     *  bandwidth cell (cost = pages * pageKB), plus the FIFO of parked
+     *  records awaiting refill. */
+    struct TenantGate
+    {
+        Bucket iops;
+        Bucket bw;
+        std::deque<std::pair<TraceRecord, Tick>> deferred; //!< + park tick
+        EventId release;  //!< pending TraceAdmitThrottled, if any
+    };
+
     Ftl *ftl = nullptr;
     EventQueue *eq = nullptr;
     TraceStream *stream = nullptr;
@@ -34,9 +70,28 @@ struct TracePump
     bool hasPending = false;
     Tick base = 0;          //!< eq->now() when the replay started
     Tick deadline = kTickMax;
+    std::vector<TenantGate> gates;  //!< indexed by tenant; empty: no gate
+    SsdMetrics *stats = nullptr;    //!< deferral accounting (throttle only)
+    std::uint32_t pageKB = 16;      //!< bandwidth-cell cost per page
+
+    /** Build the per-tenant gates from a parsed SLO spec. */
+    void configureThrottle(const TenantSloSpec &spec,
+                           std::uint32_t pageSizeKB, SsdMetrics &metrics);
 
     /** Kernel dispatch target: admit the due records. */
     void fire();
+
+    /** Kernel dispatch target: a tenant's bucket refilled — drain its
+     *  deferred FIFO while records conform. */
+    void fireThrottled(TenantId tenant);
+
+    /** Are any records still parked in a tenant gate? */
+    bool throttledPending() const;
+
+  private:
+    /** Route one due record through its tenant gate (or straight to the
+     *  FTL when the tenant is ungated). */
+    void admit(const TraceRecord &rec);
 };
 
 class Ssd

@@ -19,12 +19,10 @@ namespace aero
 
 enum class IoOp : std::uint8_t { Read, Write };
 
-/**
- * Tenant identity for multi-tenant QoS accounting. Tenant 0 is the
- * default (single-tenant) identity; TenantMix retags merged records
- * with each source stream's index.
- */
-using TenantId = std::uint16_t;
+// TenantId (the multi-tenant QoS accounting identity) lives in
+// common/types.hh so the sim kernel can tag PageOps without pulling in
+// the workload layer. Tenant 0 is the default (single-tenant) identity;
+// TenantMix retags merged records with each source stream's index.
 
 struct TraceRecord
 {

@@ -35,10 +35,70 @@ struct TenantSource
     std::uint64_t requests = 0; //!< synthetic override (0: base default)
     std::uint64_t seed = 0;
     bool hasSeed = false;
+    /** Arrival-rate multiplier for synthetic sources (programmatic
+     *  only, not part of the spec grammar); >1 makes a hotter tenant. */
+    double intensity = 1.0;
 };
 
 /** Parse a tenant-mix spec string; fatal with the bad entry quoted. */
 std::vector<TenantSource> parseTenantMixSpec(const std::string &spec);
+
+/** Default token-bucket depth, in cost units (see TenantSlo::burst). */
+constexpr std::uint64_t kDefaultSloBurst = 16;
+
+/**
+ * One tenant's service-level objective: admission budgets enforced by
+ * the TracePump token buckets, a weighted-fair share enforced by the
+ * queued channel arbitration, and an optional read-p99 target the
+ * metrics layer scores attainment against. Zero budgets/targets mean
+ * "unlimited" / "no target"; weight 1 is the unweighted default.
+ */
+struct TenantSlo
+{
+    TenantId tenant = 0;
+    std::uint32_t weight = 1;        //!< WFQ share, 1..1024
+    std::uint64_t iopsBudget = 0;    //!< admitted requests/s (0: unlimited)
+    std::uint64_t bwBudgetKBps = 0;  //!< admitted KB/s (0: unlimited)
+    /** Bucket depth in cost units (requests / KB): how far a tenant may
+     *  burst ahead of its sustained rate before admission defers. */
+    std::uint64_t burst = kDefaultSloBurst;
+    std::uint64_t p99TargetUs = 0;   //!< read p99 target (0: no target)
+};
+
+/**
+ * A parsed per-tenant SLO table. The spec string is comma-separated
+ * entries, each a tenant id followed by `key=value` settings:
+ *
+ *   0:weight=8:p99=1500,1:weight=1:iops=2000:burst=32
+ *
+ *   entry := <tenant>:<key>=<value>[:<key>=<value>...]
+ *   key   := weight | iops | bw | burst | p99
+ *
+ * Tenant ids are explicit (unlike TenantMix's positional ids) so a
+ * spec can target a subset of a mix; every id must be distinct.
+ */
+struct TenantSloSpec
+{
+    std::string label;               //!< spec string verbatim (reports)
+    std::vector<TenantSlo> tenants;  //!< spec order, distinct ids
+
+    bool empty() const { return tenants.empty(); }
+
+    /** The entry for @p tenant, or nullptr when the spec has none. */
+    const TenantSlo *find(TenantId tenant) const;
+
+    /** Largest tenant id named by the spec (0 when empty). */
+    TenantId maxTenant() const;
+};
+
+/** Parse a tenant-SLO spec string; fatal with the bad entry quoted. */
+TenantSloSpec parseTenantSloSpec(const std::string &spec);
+
+/**
+ * Render a spec back to its canonical string form: every non-default
+ * setting, keys in grammar order. parseTenantSloSpec() round-trips it.
+ */
+std::string renderTenantSloSpec(const TenantSloSpec &spec);
 
 /**
  * Open one tenant's stream. Trace-file sources must match @p base's

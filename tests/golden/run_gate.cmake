@@ -2,11 +2,14 @@
 #
 #   cmake -DBENCH=<bench-binary> -DDIFF=<aero_diff-binary>
 #         -DGOLDEN=<checked-in baseline> -DOUT=<scratch artifact>
-#         [-DREL_TOL=<tol>] -P run_gate.cmake
+#         [-DREL_TOL=<tol>] [-DARGS=<extra bench flags>]
+#         -P run_gate.cmake
 #
 # Regenerates the bench's --small artifact and diffs it against the
 # checked-in baseline; any metric drifting beyond tolerance fails the
-# test with aero_diff's per-metric delta table in the output.
+# test with aero_diff's per-metric delta table in the output. -DARGS
+# passes extra flags (space-separated) to the bench, for baselines that
+# pin a non-default configuration (e.g. `--slo noisy`).
 #
 # To refresh the baselines after an intentional change:
 #   cmake --build build --target regen-golden
@@ -20,8 +23,13 @@ if(NOT DEFINED REL_TOL)
     set(REL_TOL 1e-6)
 endif()
 
+set(extra_args)
+if(DEFINED ARGS)
+    separate_arguments(extra_args UNIX_COMMAND "${ARGS}")
+endif()
+
 execute_process(
-    COMMAND "${BENCH}" --small --json "${OUT}"
+    COMMAND "${BENCH}" --small ${extra_args} --json "${OUT}"
     RESULT_VARIABLE bench_rc
     OUTPUT_QUIET)
 if(NOT bench_rc EQUAL 0)

@@ -2,7 +2,13 @@
 #
 #   cmake -DBENCH=<bench-binary> -DDIFF=<aero_diff-binary>
 #         -DWORK=<scratch dir> -DTHREADS=<n> [-DMAX_KILLS=<n>]
-#         [-DWORKERS=<n>] -P run_crash_resume.cmake
+#         [-DWORKERS=<n>] [-DEXTRA_ARGS=<extra bench flags>]
+#         -P run_crash_resume.cmake
+#
+# -DEXTRA_ARGS passes extra flags (space-separated) to every bench
+# invocation — clean run, kill loop, and final resume alike — so a
+# non-default configuration (e.g. `--slo noisy`) gets the same
+# crash/resume treatment as the default campaign.
 #
 # With -DWORKERS=<n> every checkpointed attempt runs `--workers <n>`
 # against a journal *directory* (ck.dir), so the kill loop exercises the
@@ -37,6 +43,10 @@ endforeach()
 if(NOT DEFINED MAX_KILLS)
     set(MAX_KILLS 20)
 endif()
+set(extra_args)
+if(DEFINED EXTRA_ARGS)
+    separate_arguments(extra_args UNIX_COMMAND "${EXTRA_ARGS}")
+endif()
 if(DEFINED WORKERS AND WORKERS GREATER 1)
     set(ck_path "${WORK}/ck.dir")
     set(worker_flags --workers "${WORKERS}")
@@ -53,7 +63,7 @@ set(ENV{AERO_SWEEP_THREADS} "${THREADS}")
 # 1. Clean, uninterrupted reference run.
 # ---------------------------------------------------------------------------
 execute_process(
-    COMMAND "${BENCH}" --small
+    COMMAND "${BENCH}" --small ${extra_args}
         --json "${WORK}/clean.json" --csv "${WORK}/clean.csv"
     RESULT_VARIABLE clean_rc
     OUTPUT_QUIET)
@@ -95,15 +105,15 @@ foreach(attempt RANGE 1 ${MAX_KILLS})
     if(TIMEOUT_TOOL)
         execute_process(
             COMMAND "${TIMEOUT_TOOL}" --signal=KILL "${budget}"
-                "${BENCH}" --small --checkpoint "${ck_path}"
+                "${BENCH}" --small ${extra_args} --checkpoint "${ck_path}"
                 ${worker_flags}
                 --json "${WORK}/resumed.json" --csv "${WORK}/resumed.csv"
             RESULT_VARIABLE rc
             OUTPUT_QUIET ERROR_QUIET)
     else()
         execute_process(
-            COMMAND "${BENCH}" --small --checkpoint "${ck_path}"
-                ${worker_flags}
+            COMMAND "${BENCH}" --small ${extra_args}
+                --checkpoint "${ck_path}" ${worker_flags}
                 --json "${WORK}/resumed.json" --csv "${WORK}/resumed.csv"
             TIMEOUT "${budget}"
             RESULT_VARIABLE rc
@@ -121,8 +131,8 @@ set(ENV{AERO_SWEEP_THREADS} "${THREADS}")
 if(NOT completed)
     # Pathologically slow machine: let the final resume run to the end.
     execute_process(
-        COMMAND "${BENCH}" --small --checkpoint "${ck_path}"
-            ${worker_flags}
+        COMMAND "${BENCH}" --small ${extra_args}
+            --checkpoint "${ck_path}" ${worker_flags}
             --json "${WORK}/resumed.json" --csv "${WORK}/resumed.csv"
         RESULT_VARIABLE rc
         OUTPUT_QUIET)

@@ -500,6 +500,171 @@ TEST(CompactionDeath, MismatchedFingerprintsRefuse)
 }
 
 // --------------------------------------------------------------------------
+// Status snapshots: per-worker progress and claim ownership.
+// --------------------------------------------------------------------------
+
+TEST(Status, SyntheticDirectoryReportsProgressClaimsAndLiveness)
+{
+    // Build an aero-campaign/2 directory by hand: w0 claimed and
+    // finished a task, w1 holds a live pending claim, and a forged
+    // third claim belongs to a worker whose pid is definitely dead.
+    const std::string dir = tempPath("status_dir");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0", /*claims=*/true));
+        ASSERT_TRUE(w0.tryClaim(taskKey(0)));
+        w0.record(taskKey(0), Json(10));
+    }
+    {
+        CampaignJournal w1(dir, "unit-test", unitConfig(),
+                           workerOptions("w1", /*claims=*/true));
+        ASSERT_TRUE(w1.tryClaim(taskKey(1)));
+    }
+    const std::string fp =
+        CampaignJournal::fingerprint("unit-test", unitConfig());
+    const std::string claimsPath =
+        (fs::path(dir) / "claims.jsonl").string();
+    writeFile(claimsPath,
+              readFile(claimsPath) + "{\"fingerprint\":\"" + fp +
+                  "\",\"key\":{\"task\":2},\"worker\":\"w2\",\"pid\":" +
+                  std::to_string(deadPid()) + "}\n");
+
+    const CampaignStatus status = campaignStatus(dir);
+    EXPECT_EQ(status.schema, "aero-campaign/2");
+    EXPECT_EQ(status.campaign, "unit-test");
+    EXPECT_EQ(status.fingerprint, fp);
+    EXPECT_EQ(status.records, 1u);
+    EXPECT_EQ(status.distinctKeys, 1u);
+    ASSERT_EQ(status.workers.size(), 2u);
+    EXPECT_EQ(status.workers[0].file, "journal.w0.jsonl");
+    EXPECT_EQ(status.workers[0].worker, "w0");
+    EXPECT_EQ(status.workers[0].records, 1u);
+    EXPECT_EQ(status.workers[1].worker, "w1");
+    EXPECT_EQ(status.workers[1].records, 0u);
+
+    // Claims carry this (live) test process's pid except the forgery.
+    ASSERT_EQ(status.claims.size(), 3u);
+    EXPECT_EQ(status.claims[0].key.dump(), taskKey(0).dump());
+    EXPECT_EQ(status.claims[0].worker, "w0");
+    EXPECT_TRUE(status.claims[0].live);
+    EXPECT_TRUE(status.claims[0].completed);
+    EXPECT_EQ(status.claims[1].worker, "w1");
+    EXPECT_TRUE(status.claims[1].live);
+    EXPECT_FALSE(status.claims[1].completed);
+    EXPECT_EQ(status.claims[2].worker, "w2");
+    EXPECT_FALSE(status.claims[2].live);
+    EXPECT_FALSE(status.claims[2].completed);
+
+    const std::string text = formatCampaignStatus(status);
+    EXPECT_NE(text.find("campaign 'unit-test' (aero-campaign/2)"),
+              std::string::npos);
+    EXPECT_NE(text.find("1 distinct task(s) journaled (1 record(s) "
+                        "across 2 file(s))"),
+              std::string::npos);
+    EXPECT_NE(text.find("3 claim(s), 2 pending"), std::string::npos);
+    EXPECT_NE(text.find("{\"task\":2} -> worker w2"),
+              std::string::npos);
+    EXPECT_NE(text.find("dead), pending"), std::string::npos);
+}
+
+TEST(Status, ReclaimedTaskReportsTheLastClaimant)
+{
+    // Re-claiming a dead worker's task appends a new claim line; the
+    // status must attribute the task to the latest claimant only.
+    const std::string dir = tempPath("status_reclaim");
+    const std::string fp =
+        CampaignJournal::fingerprint("unit-test", unitConfig());
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0", /*claims=*/true));
+        ASSERT_TRUE(w0.tryClaim(taskKey(0)));
+    }
+    const std::string claimsPath =
+        (fs::path(dir) / "claims.jsonl").string();
+    writeFile(claimsPath,
+              readFile(claimsPath) + "{\"fingerprint\":\"" + fp +
+                  "\",\"key\":{\"task\":0},\"worker\":\"w1\",\"pid\":" +
+                  std::to_string(deadPid()) + "}\n");
+    const CampaignStatus status = campaignStatus(dir);
+    ASSERT_EQ(status.claims.size(), 1u);
+    EXPECT_EQ(status.claims[0].worker, "w1");
+    EXPECT_FALSE(status.claims[0].live);
+}
+
+TEST(Status, SingleFileJournalHasNoClaims)
+{
+    const std::string path = tempPath("status_file.jsonl");
+    {
+        CampaignJournal journal(path, "unit-test", unitConfig());
+        journal.record(taskKey(0), Json(0));
+        journal.record(taskKey(0), Json(1));  // duplicate key
+        journal.record(taskKey(1), Json(2));
+    }
+    const CampaignStatus status = campaignStatus(path);
+    EXPECT_EQ(status.schema, "aero-campaign/1");
+    EXPECT_EQ(status.campaign, "unit-test");
+    EXPECT_EQ(status.records, 3u);
+    EXPECT_EQ(status.distinctKeys, 2u);
+    ASSERT_EQ(status.workers.size(), 1u);
+    EXPECT_EQ(status.workers[0].worker, "");
+    EXPECT_EQ(status.workers[0].records, 3u);
+    EXPECT_TRUE(status.claims.empty());
+    const std::string text = formatCampaignStatus(status);
+    EXPECT_NE(text.find("2 distinct task(s) journaled (3 record(s) "
+                        "across 1 file(s))"),
+              std::string::npos);
+    EXPECT_EQ(text.find("claim(s)"), std::string::npos);
+}
+
+TEST(Status, TornTailsAreSkippedNotFatal)
+{
+    // Status may race live appends: a torn final journal line and a
+    // torn final claim line are both in-flight writes, not corruption.
+    const std::string dir = tempPath("status_torn");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0", /*claims=*/true));
+        ASSERT_TRUE(w0.tryClaim(taskKey(0)));
+        w0.record(taskKey(0), Json(0));
+    }
+    const std::string journalPath =
+        (fs::path(dir) / "journal.w0.jsonl").string();
+    writeFile(journalPath, readFile(journalPath) + "{\"fingerp");
+    const std::string claimsPath =
+        (fs::path(dir) / "claims.jsonl").string();
+    writeFile(claimsPath, readFile(claimsPath) + "{\"fingerp");
+    const CampaignStatus status = campaignStatus(dir);
+    EXPECT_EQ(status.records, 1u);
+    ASSERT_EQ(status.claims.size(), 1u);
+    EXPECT_TRUE(status.claims[0].completed);
+}
+
+TEST(StatusDeath, MissingAndMismatchedJournalsAreFatal)
+{
+    EXPECT_DEATH(campaignStatus(tempPath("status_missing")),
+                 "no campaign journal");
+    // Splice in a worker file from a differently-configured campaign.
+    const std::string dir = tempPath("status_mixed");
+    {
+        CampaignJournal w0(dir, "unit-test", unitConfig(),
+                           workerOptions("w0"));
+        w0.record(taskKey(0), Json(0));
+    }
+    Json other = unitConfig();
+    other["spliced"] = true;
+    const std::string foreign = tempPath("status_mixed_src");
+    {
+        CampaignJournal w1(foreign, "unit-test", other,
+                           workerOptions("w1"));
+        w1.record(taskKey(1), Json(1));
+    }
+    fs::copy_file(fs::path(foreign) / "journal.w1.jsonl",
+                  fs::path(dir) / "journal.w1.jsonl");
+    EXPECT_DEATH(campaignStatus(dir),
+                 "belongs to a different campaign configuration");
+}
+
+// --------------------------------------------------------------------------
 // Sharded checkpointed runs: disjoint expand() slices into one journal.
 // --------------------------------------------------------------------------
 
